@@ -1,0 +1,127 @@
+// Benchmarks regenerating the paper's tables and figures (one benchmark
+// per artifact, run in Quick mode so the full suite completes in about a
+// minute) plus microbenchmarks of the hot paths.
+//
+//	go test -bench=. -benchmem
+//
+// Custom metrics:
+//   - speedup_x: MinatoLoader training-time speedup over the named baseline
+//   - gpu_util_pct: average GPU utilization of the Minato run
+package minato
+
+import (
+	"testing"
+	"time"
+
+	"github.com/minatoloader/minato/internal/experiments"
+	"github.com/minatoloader/minato/internal/trainer"
+	"github.com/minatoloader/minato/internal/workload"
+)
+
+// benchExperiment runs a registered experiment once per b.N in Quick mode.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	r, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Run(experiments.Options{Seed: 1, Quick: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B)     { benchExperiment(b, "table1") }
+func BenchmarkTable2(b *testing.B)     { benchExperiment(b, "table2") }
+func BenchmarkTable3(b *testing.B)     { benchExperiment(b, "table3") }
+func BenchmarkFig1b(b *testing.B)      { benchExperiment(b, "fig1b") }
+func BenchmarkFig2(b *testing.B)       { benchExperiment(b, "fig2") }
+func BenchmarkFig3(b *testing.B)       { benchExperiment(b, "fig3") }
+func BenchmarkFig4(b *testing.B)       { benchExperiment(b, "fig4") }
+func BenchmarkFig7(b *testing.B)       { benchExperiment(b, "fig7") }
+func BenchmarkFig8(b *testing.B)       { benchExperiment(b, "fig8") }
+func BenchmarkFig9(b *testing.B)       { benchExperiment(b, "fig9") }
+func BenchmarkFig10(b *testing.B)      { benchExperiment(b, "fig10") }
+func BenchmarkFig11a(b *testing.B)     { benchExperiment(b, "fig11a") }
+func BenchmarkFig11b(b *testing.B)     { benchExperiment(b, "fig11b") }
+func BenchmarkFig11c(b *testing.B)     { benchExperiment(b, "fig11c") }
+func BenchmarkFig12(b *testing.B)      { benchExperiment(b, "fig12") }
+func BenchmarkArtifactE1(b *testing.B) { benchExperiment(b, "e1") }
+
+func BenchmarkDistributed(b *testing.B) { benchExperiment(b, "dist") }
+
+func BenchmarkAblationTimeout(b *testing.B) { benchExperiment(b, "abl-timeout") }
+func BenchmarkAblationWorkers(b *testing.B) { benchExperiment(b, "abl-workers") }
+func BenchmarkAblationResume(b *testing.B)  { benchExperiment(b, "abl-resume") }
+func BenchmarkAblationOrder(b *testing.B)   { benchExperiment(b, "abl-order") }
+
+// BenchmarkHeadlineSpeedup runs the paper's headline comparison (Speech-3s
+// on 4×A100) at reduced iteration count and reports the speedup factors as
+// custom metrics.
+func BenchmarkHeadlineSpeedup(b *testing.B) {
+	cfg := ConfigA()
+	w := workload.Speech(1, 3*time.Second).WithIterations(200)
+	for i := 0; i < b.N; i++ {
+		times := map[string]float64{}
+		var gpuUtil float64
+		for _, f := range AllFactories() {
+			rep, err := Simulate(cfg, w, f, Params{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			times[f.Name] = rep.TrainTime.Seconds()
+			if f.Name == "minato" {
+				gpuUtil = rep.AvgGPUUtil
+			}
+		}
+		b.ReportMetric(times["pytorch"]/times["minato"], "speedup_vs_pytorch_x")
+		b.ReportMetric(times["dali"]/times["minato"], "speedup_vs_dali_x")
+		b.ReportMetric(gpuUtil, "minato_gpu_util_pct")
+	}
+}
+
+// BenchmarkLoaderSessionThroughput measures simulator throughput: samples
+// processed per wall second across a full Minato session.
+func BenchmarkLoaderSessionThroughput(b *testing.B) {
+	cfg := ConfigA().WithGPUs(2)
+	w := workload.Speech(1, 3*time.Second).WithIterations(100)
+	var samples int64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep, err := Simulate(cfg, w, MinatoFactory(), Params{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		samples += rep.Samples
+	}
+	b.ReportMetric(float64(samples)/b.Elapsed().Seconds(), "samples/sec_wall")
+}
+
+// BenchmarkPipelineCostModel measures the pure cost-model path (no
+// simulation), the hot function of profiling runs.
+func BenchmarkPipelineCostModel(b *testing.B) {
+	w := workload.ImageSegmentation(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := w.Dataset.Sample(0, i%w.Dataset.Len())
+		_ = w.Pipeline.TotalCost(s)
+	}
+}
+
+// BenchmarkSimulateSmallSession measures end-to-end kernel overhead for a
+// minimal session (the fixed cost every experiment pays).
+func BenchmarkSimulateSmallSession(b *testing.B) {
+	cfg := ConfigA().WithGPUs(1)
+	w := workload.Speech(1, 3*time.Second).WithIterations(10)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(cfg, w, MinatoFactory(), Params{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Compile-time check: the trainer factory type matches the facade alias.
+var _ trainer.Factory = Factory{}

@@ -1,0 +1,78 @@
+// Command minato-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	minato-bench -exp fig7              # one experiment
+//	minato-bench -exp all               # everything (several minutes)
+//	minato-bench -exp e1 -out results   # also write CSVs for plotting
+//	minato-bench -list                  # list experiment IDs
+//
+// Experiment IDs follow the paper: table1..table3, fig1b..fig12, e1 (the
+// artifact appendix run), and abl-* design ablations. See DESIGN.md for the
+// full index.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/minatoloader/minato/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment ID, comma list, or 'all'")
+		out   = flag.String("out", "", "directory for CSV output (optional)")
+		seed  = flag.Uint64("seed", 1, "random seed")
+		quick = flag.Bool("quick", false, "shrink run lengths (CI mode)")
+		list  = flag.Bool("list", false, "list experiment IDs and exit")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("available experiments:")
+		for _, r := range experiments.All() {
+			fmt.Printf("  %-12s %s\n", r.ID, r.Title)
+		}
+		if *exp == "" {
+			fmt.Println("\nrun with -exp <id>[,<id>...] or -exp all")
+		}
+		return
+	}
+
+	var ids []string
+	if *exp == "all" {
+		for _, r := range experiments.All() {
+			ids = append(ids, r.ID)
+		}
+	} else {
+		ids = strings.Split(*exp, ",")
+	}
+
+	opts := experiments.Options{Seed: *seed, Quick: *quick, OutDir: *out}
+	failed := 0
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		r, ok := experiments.ByID(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
+			failed++
+			continue
+		}
+		start := time.Now()
+		res, err := r.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			failed++
+			continue
+		}
+		fmt.Print(res.Render())
+		fmt.Printf("(%s completed in %s wall time)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

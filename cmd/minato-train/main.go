@@ -1,0 +1,93 @@
+// Command minato-train runs a single training session: one workload, one
+// data loader, one testbed — and prints the session report. It is the
+// quickest way to poke at the system:
+//
+//	minato-train -workload speech-3s -loader minato -gpus 4
+//	minato-train -workload img-seg -loader pytorch -testbed B -epochs 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/minatoloader/minato/internal/hardware"
+	"github.com/minatoloader/minato/internal/loaders"
+	"github.com/minatoloader/minato/internal/trainer"
+	"github.com/minatoloader/minato/internal/workload"
+)
+
+func main() {
+	var (
+		wl      = flag.String("workload", "speech-3s", "img-seg | obj-det | speech-3s | speech-10s")
+		ld      = flag.String("loader", "minato", "pytorch | pecan | dali | minato")
+		testbed = flag.String("testbed", "A", "A (4×A100) or B (8×V100)")
+		gpus    = flag.Int("gpus", 0, "override GPU count")
+		epochs  = flag.Int("epochs", 0, "override epoch budget")
+		iters   = flag.Int("iterations", 0, "override iteration budget")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		trace   = flag.String("trace", "", "write per-sample trace CSV to this directory")
+	)
+	flag.Parse()
+
+	var w workload.Workload
+	switch *wl {
+	case "img-seg":
+		w = workload.ImageSegmentation(*seed)
+	case "obj-det":
+		w = workload.ObjectDetection(*seed)
+	case "speech-3s":
+		w = workload.Speech(*seed, 3*time.Second)
+	case "speech-10s":
+		w = workload.Speech(*seed, 10*time.Second)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *wl)
+		os.Exit(2)
+	}
+	if *epochs > 0 {
+		w = w.WithEpochs(*epochs)
+	}
+	if *iters > 0 {
+		w = w.WithIterations(*iters)
+	}
+
+	cfg := hardware.ConfigA()
+	if *testbed == "B" || *testbed == "b" {
+		cfg = hardware.ConfigB()
+	}
+	if *gpus > 0 {
+		cfg = cfg.WithGPUs(*gpus)
+	}
+
+	f, ok := loaders.ByName(*ld)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown loader %q\n", *ld)
+		os.Exit(2)
+	}
+
+	start := time.Now()
+	rep, err := trainer.Simulate(cfg, w, f, trainer.Params{Collect: true, TraceSamples: *trace != ""})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *trace != "" {
+		name := fmt.Sprintf("trace_%s_%s", rep.Workload, rep.Loader)
+		if err := rep.WriteTraceCSV(*trace, name); err != nil {
+			fmt.Fprintln(os.Stderr, "trace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace written:   %s/%s.csv (%d samples)\n", *trace, name, len(rep.Trace))
+	}
+	fmt.Printf("workload:        %s (%s)\n", rep.Workload, w.Model)
+	fmt.Printf("loader:          %s\n", rep.Loader)
+	fmt.Printf("testbed:         %s, %d×%s\n", cfg.Name, cfg.GPUCount, cfg.GPUArch.Name)
+	fmt.Printf("training time:   %.1f s (simulated)\n", rep.TrainTime.Seconds())
+	fmt.Printf("batches/samples: %d / %d\n", rep.Batches, rep.Samples)
+	fmt.Printf("throughput:      %.1f MB/s\n", rep.Throughput())
+	fmt.Printf("GPU utilization: %.1f%%\n", rep.AvgGPUUtil)
+	fmt.Printf("CPU utilization: %.1f%%\n", rep.AvgCPUUtil)
+	fmt.Printf("disk read:       %.1f GB\n", float64(rep.DiskBytes)/1e9)
+	fmt.Printf("wall time:       %s\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,103 @@
+// Curriculum learning (§6): some training regimes need samples in a strict
+// global order (easy examples before hard ones). MinatoLoader's
+// order-preserving mode guarantees sampler order at the cost of the
+// reordering advantage — this example measures that trade-off and verifies
+// the ordering guarantee.
+//
+//	go run ./examples/curriculum
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"time"
+
+	"github.com/minatoloader/minato"
+)
+
+func run(ordered bool) (elapsed, maxGap time.Duration, inOrder bool) {
+	rt := minato.NewVirtualRuntime()
+	inOrder = true
+	rt.Run(func() {
+		env := minato.NewEnv(rt, minato.EnvConfig{Cores: 16, DiskBandwidth: 5e9, CacheBytes: 16 << 30})
+		cfg := minato.DefaultConfig()
+		cfg.OrderPreserving = ordered
+		spec := minato.Spec{
+			Dataset:    minato.SubsetDataset(minato.LibriSpeech(1, 5), 2000),
+			Pipeline:   speechPipeline(),
+			BatchSize:  8,
+			Iterations: 60,
+			Seed:       7,
+		}
+		ld := minato.New(env, spec, cfg)
+		if err := ld.Start(context.Background()); err != nil {
+			log.Fatal(err)
+		}
+		var prev int64 = -1
+		var lastAt time.Duration
+		for i := 0; ; i++ {
+			b, err := ld.Next(context.Background(), 0)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				log.Fatal(err)
+			}
+			// Skip warmup batches when sizing stalls.
+			if i > 10 {
+				if g := b.CreatedAt - lastAt; g > maxGap {
+					maxGap = g
+				}
+			}
+			lastAt = b.CreatedAt
+			for _, s := range b.Samples {
+				if s.OriginalOrder != prev+1 {
+					inOrder = false
+				}
+				prev = s.OriginalOrder
+			}
+		}
+		elapsed = rt.Now()
+		ld.Stop()
+		_ = env.WG.Wait(context.Background())
+	})
+	return elapsed, maxGap, inOrder
+}
+
+func speechPipeline() *minato.Pipeline {
+	light := minato.NewTransform("Light",
+		func(*minato.Sample) time.Duration { return 100 * time.Millisecond }, nil)
+	heavy := minato.NewTransform("Heavy",
+		func(s *minato.Sample) time.Duration {
+			if s.Features.Heavy {
+				return 1500 * time.Millisecond
+			}
+			return 0
+		}, nil)
+	return minato.NewPipeline("curriculum", light, heavy)
+}
+
+func main() {
+	fmt.Println("MinatoLoader order-preserving mode (§6): curriculum learning")
+	fmt.Println()
+
+	tDefault, gapDefault, _ := run(false)
+	tOrdered, gapOrdered, ok := run(true)
+
+	fmt.Printf("default (reordering):   total %6.1fs   worst delivery stall %5.0f ms\n",
+		tDefault.Seconds(), gapDefault.Seconds()*1000)
+	fmt.Printf("order-preserving:       total %6.1fs   worst delivery stall %5.0f ms   (sampler order kept: %v)\n",
+		tOrdered.Seconds(), gapOrdered.Seconds()*1000, ok)
+	fmt.Println()
+	fmt.Println("Strict ordering makes batch assembly wait on the slowest outstanding")
+	fmt.Println("sample — visible as delivery stalls — which is the price of")
+	fmt.Println("correctness when sample order is semantic (§6).")
+	if !ok {
+		log.Fatal("BUG: order-preserving mode broke sampler order")
+	}
+	if gapOrdered <= gapDefault {
+		fmt.Println("(note: with ample CPU headroom the stall difference can vanish)")
+	}
+}

@@ -1,0 +1,98 @@
+// Quickstart: embed MinatoLoader around a custom dataset and preprocessing
+// pipeline, and watch it classify slow samples on the fly.
+//
+// The dataset here is deliberately adversarial: most samples preprocess in
+// ~20 ms, but every 8th takes ~800 ms. A conventional loader would stall
+// whole batches on the slow ones; MinatoLoader keeps batches flowing and
+// folds slow samples in as they finish.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"time"
+
+	"github.com/minatoloader/minato"
+)
+
+// toyDataset implements minato.Dataset: 512 samples of 1 MB each, with
+// every 8th sample flagged heavy.
+type toyDataset struct{}
+
+func (toyDataset) Name() string { return "toy" }
+func (toyDataset) Len() int     { return 512 }
+func (toyDataset) Sample(epoch, i int) *minato.Sample {
+	return &minato.Sample{
+		Index: i, Epoch: epoch,
+		Key:      fmt.Sprintf("toy/%d", i),
+		RawBytes: 1 << 20, Bytes: 1 << 20,
+		Features: minato.Features{Heavy: i%8 == 7},
+	}
+}
+
+func main() {
+	// The runtime: virtual time, so this demo is instant and exact. Swap
+	// in minato.NewRealRuntime(1) to run against the wall clock.
+	rt := minato.NewVirtualRuntime()
+
+	// A two-step pipeline: a fast decode plus an augmentation that is 40×
+	// slower on heavy samples.
+	decode := minato.NewTransform("Decode",
+		func(*minato.Sample) time.Duration { return 10 * time.Millisecond }, nil)
+	augment := minato.NewTransform("Augment",
+		func(s *minato.Sample) time.Duration {
+			if s.Features.Heavy {
+				return 790 * time.Millisecond
+			}
+			return 10 * time.Millisecond
+		}, nil)
+	pipeline := minato.NewPipeline("toy", decode, augment)
+
+	rt.Run(func() {
+		env := minato.NewEnv(rt, minato.EnvConfig{Cores: 8})
+
+		cfg := minato.DefaultConfig()
+		cfg.WarmupSamples = 24
+		ld := minato.New(env, minato.Spec{
+			Dataset:    toyDataset{},
+			Pipeline:   pipeline,
+			BatchSize:  8,
+			Iterations: 32,
+			Seed:       42,
+		}, cfg)
+
+		if err := ld.Start(context.Background()); err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Println("batch  t(ms)   gap(ms)  slow-samples  timeout(ms)")
+		var last time.Duration
+		for i := 0; ; i++ {
+			b, err := ld.Next(context.Background(), 0)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				log.Fatal(err)
+			}
+			gap := b.CreatedAt - last
+			last = b.CreatedAt
+			tout := "warmup"
+			if d := ld.Timeout(); d < time.Hour {
+				tout = fmt.Sprintf("%.0f", float64(d)/float64(time.Millisecond))
+			}
+			fmt.Printf("%5d  %6.0f  %7.0f  %12d  %s\n",
+				i, b.CreatedAt.Seconds()*1000, gap.Seconds()*1000, b.SlowCount(), tout)
+		}
+		ld.Stop()
+		_ = env.WG.Wait(context.Background())
+
+		fmt.Printf("\nall 32 batches delivered in %.2fs of simulated time\n", rt.Now().Seconds())
+		fmt.Println("note how delivery gaps stay small after warmup: heavy samples")
+		fmt.Println("preprocess in the background instead of stalling batches.")
+	})
+}

@@ -1,0 +1,587 @@
+// Package core implements MinatoLoader, the paper's contribution: a
+// general-purpose data loader that eliminates head-of-line blocking through
+// a dynamic, sample-aware load balancer (§4).
+//
+// Architecture (Fig 5):
+//
+//	index stream → preprocessing workers ──fast──▶ fast queue ─┐
+//	                    │ timeout t_out                        ├─▶ batch
+//	                    └──────▶ temp queue ──background──▶ slow queue
+//	                                                           │
+//	                        batch constructor (one per GPU) ◀──┘
+//	                                  │
+//	                        per-GPU batch queues ──▶ Next()
+//
+// Workers apply the pipeline with a per-sample compute budget t_out
+// (Algorithm 1). Samples finishing within budget enter the fast queue;
+// samples exceeding it are parked in the temp queue with the index of the
+// interrupted transform, and background processing resumes from there
+// (re-executing the partial transform). Batch constructors drain the fast
+// queue first, then the slow queue, so no sample ever stalls a batch.
+//
+// The timeout comes from a profiler: during warmup every sample is
+// optimistically treated as fast while statistics accumulate; afterwards
+// t_out is the 75th percentile of observed preprocessing times, falling
+// back to the 90th when too many samples classify slow, and re-profiling
+// continues in the background (§4.2).
+//
+// A worker scheduler adjusts the number of preprocessing workers using the
+// paper's Formulas 1–2: queue emptiness and worker busyness raise the
+// count; full queues and idle workers lower it (§4.3).
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/minatoloader/minato/internal/data"
+	"github.com/minatoloader/minato/internal/loader"
+	"github.com/minatoloader/minato/internal/metrics"
+	"github.com/minatoloader/minato/internal/queue"
+	"github.com/minatoloader/minato/internal/transform"
+)
+
+// Config holds MinatoLoader's tuning knobs with the paper's defaults.
+type Config struct {
+	// InitialWorkersPerGPU seeds the worker pool (12 per GPU, §4.3/§5.1).
+	InitialWorkersPerGPU int
+	// MaxWorkers caps the pool; 0 means the CPU core count (§4.3).
+	MaxWorkers int
+	// QueueCap bounds each queue (100, §5.1).
+	QueueCap int
+
+	// Profiler (§4.2).
+	TimeoutPercentile  float64 // default 0.75
+	FallbackPercentile float64 // default 0.90
+	MaxSlowFraction    float64 // fallback trigger, default 0.40
+	WarmupSamples      int     // optimistic phase length, default 48
+
+	// Scheduler (Formulas 1–2).
+	Alpha, Beta   float64       // sensitivity, default 2 and 2
+	CPUThreshold  float64       // θ_c, default 0.7
+	DeltaClip     int           // |Δ| bound, default 2
+	SchedInterval time.Duration // default 1s
+
+	// PollInterval is the batch constructor's idle sleep (10 ms, §4.2).
+	PollInterval time.Duration
+
+	// OrderPreserving disables reordering for curriculum/strict-order
+	// training (§6): batches follow the sampler's order exactly and the
+	// loader behaves like PyTorch DataLoader.
+	OrderPreserving bool
+
+	// SizeHeuristicThreshold, when positive, replaces the timeout
+	// classifier with an upfront "predict slow if raw size exceeds
+	// threshold" rule — the Fig 3a heuristic study. The timeout path is
+	// disabled.
+	SizeHeuristicThreshold int64
+
+	// DisableAdaptiveWorkers freezes the pool at its initial size
+	// (ablation).
+	DisableAdaptiveWorkers bool
+	// RestartSlowFromScratch re-runs the whole pipeline for timed-out
+	// samples instead of resuming from the recorded transform index
+	// (ablation of Algorithm 1's resume design).
+	RestartSlowFromScratch bool
+
+	// LoaderName overrides the reported name.
+	LoaderName string
+}
+
+// DefaultConfig returns the paper's configuration (§5.1).
+func DefaultConfig() Config {
+	return Config{
+		InitialWorkersPerGPU: 12,
+		QueueCap:             100,
+		TimeoutPercentile:    0.75,
+		FallbackPercentile:   0.90,
+		MaxSlowFraction:      0.40,
+		WarmupSamples:        48,
+		Alpha:                2, Beta: 2,
+		CPUThreshold:  0.7,
+		DeltaClip:     2,
+		SchedInterval: time.Second,
+		PollInterval:  10 * time.Millisecond,
+	}
+}
+
+func (c *Config) fillDefaults(numGPUs, cores int) {
+	d := DefaultConfig()
+	if c.InitialWorkersPerGPU <= 0 {
+		c.InitialWorkersPerGPU = d.InitialWorkersPerGPU
+	}
+	if c.MaxWorkers <= 0 {
+		c.MaxWorkers = cores
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = d.QueueCap
+	}
+	if c.TimeoutPercentile <= 0 {
+		c.TimeoutPercentile = d.TimeoutPercentile
+	}
+	if c.FallbackPercentile <= 0 {
+		c.FallbackPercentile = d.FallbackPercentile
+	}
+	if c.MaxSlowFraction <= 0 {
+		c.MaxSlowFraction = d.MaxSlowFraction
+	}
+	if c.WarmupSamples <= 0 {
+		c.WarmupSamples = d.WarmupSamples
+	}
+	if c.Alpha == 0 {
+		c.Alpha = d.Alpha
+	}
+	if c.Beta == 0 {
+		c.Beta = d.Beta
+	}
+	if c.CPUThreshold <= 0 {
+		c.CPUThreshold = d.CPUThreshold
+	}
+	if c.DeltaClip <= 0 {
+		c.DeltaClip = d.DeltaClip
+	}
+	if c.SchedInterval <= 0 {
+		c.SchedInterval = d.SchedInterval
+	}
+	if c.PollInterval <= 0 {
+		c.PollInterval = d.PollInterval
+	}
+	_ = numGPUs
+}
+
+// tempItem is a timed-out sample parked for background completion,
+// carrying the interrupted transform index (Algorithm 1 line 11).
+type tempItem struct {
+	s *data.Sample
+}
+
+// Loader is MinatoLoader.
+type Loader struct {
+	env  *loader.Env
+	spec loader.Spec
+	cfg  Config
+
+	idx     *loader.IndexSource
+	fastQ   *queue.Queue[*data.Sample]
+	slowQ   *queue.Queue[*data.Sample]
+	tempQ   *queue.Queue[tempItem]
+	batchQs []*queue.Queue[*data.Batch]
+
+	profiler *Profiler
+	sched    *Scheduler
+
+	// Accounting for batch-constructor termination: a constructor may
+	// exit only when every emitted sample has been consumed or abandoned.
+	emitted   atomic.Int64 // samples handed to workers
+	enqueued  atomic.Int64 // samples placed into fast or slow queues
+	consumed  atomic.Int64 // samples drawn into batches
+	abandoned atomic.Int64 // samples lost to preprocessing faults
+	faults    atomic.Int64 // fault events (diagnostics)
+	srcDone   atomic.Bool  // index stream exhausted
+
+	batchSeq atomic.Int64
+	// claims assigns batch slots to constructors so the delivery budget is
+	// met exactly: without it, two constructors could strand the final
+	// samples across two partial batches.
+	claims  atomic.Int64
+	ordered *orderedBuffer // OrderPreserving mode only
+
+	stopOnce sync.Once
+	stopFlag atomic.Bool
+	cancel   context.CancelFunc
+}
+
+// New returns a MinatoLoader over the given spec.
+func New(env *loader.Env, spec loader.Spec, cfg Config) *Loader {
+	cfg.fillDefaults(len(env.GPUs), int(env.CPU.Capacity()))
+	l := &Loader{
+		env: env, spec: spec, cfg: cfg,
+		idx:   loader.NewIndexSource(env, spec, 4*spec.BatchSize),
+		fastQ: queue.New[*data.Sample](env.RT, "fast", cfg.QueueCap),
+		slowQ: queue.New[*data.Sample](env.RT, "slow", cfg.QueueCap),
+		tempQ: queue.New[tempItem](env.RT, "temp", cfg.QueueCap),
+	}
+	for range env.GPUs {
+		l.batchQs = append(l.batchQs,
+			queue.New[*data.Batch](env.RT, "batch", cfg.QueueCap))
+	}
+	l.profiler = NewProfiler(ProfilerConfig{
+		TimeoutPercentile:  cfg.TimeoutPercentile,
+		FallbackPercentile: cfg.FallbackPercentile,
+		MaxSlowFraction:    cfg.MaxSlowFraction,
+		WarmupSamples:      cfg.WarmupSamples,
+	})
+	l.sched = NewScheduler(l, cfg)
+	if cfg.OrderPreserving {
+		l.ordered = newOrderedBuffer()
+	}
+	return l
+}
+
+// Name implements loader.Loader.
+func (l *Loader) Name() string {
+	if l.cfg.LoaderName != "" {
+		return l.cfg.LoaderName
+	}
+	return "minato"
+}
+
+// Start implements loader.Loader.
+func (l *Loader) Start(ctx context.Context) error {
+	ctx, l.cancel = context.WithCancel(ctx)
+	l.idx.Start(ctx)
+
+	initial := l.cfg.InitialWorkersPerGPU * len(l.env.GPUs)
+	if initial > l.cfg.MaxWorkers {
+		initial = l.cfg.MaxWorkers
+	}
+	l.sched.SetTarget(initial)
+	for i := 0; i < initial; i++ {
+		l.spawnWorker(ctx)
+	}
+	if !l.cfg.DisableAdaptiveWorkers {
+		l.sched.Start(ctx)
+	}
+
+	for g := range l.batchQs {
+		g := g
+		l.env.WG.Go("minato-batcher", func() {
+			l.batchConstructor(ctx, g)
+		})
+	}
+	return nil
+}
+
+// spawnWorker launches one preprocessing worker. Workers prefer resuming
+// timed-out samples (temp queue) over starting new ones, which keeps slow
+// samples flowing into upcoming batches instead of deferring them to the
+// end (§4.1: "MinatoLoader does not defer these samples to the very end").
+//
+// A panic in a user transform is contained to the sample being processed:
+// the sample is abandoned (counted, surfaced via Faults) and the worker
+// keeps serving — matching the isolation a multiprocessing-based loader
+// gets from worker processes.
+func (l *Loader) spawnWorker(ctx context.Context) {
+	id := l.sched.workerSpawned()
+	l.env.WG.Go("minato-worker", func() {
+		defer l.sched.workerExited()
+		for {
+			if l.stopFlag.Load() || l.sched.shouldRetire(id) {
+				return
+			}
+			// Background completion first (slow-task work).
+			if item, ok, _ := l.tempQ.TryGet(); ok {
+				if err := l.guard(func() error { return l.finishSlow(ctx, item.s) }, true); err != nil {
+					return
+				}
+				continue
+			}
+			// New sample.
+			it, ok, err := l.idx.Out().TryGet()
+			if err != nil { // index stream closed and drained
+				l.srcDone.Store(true)
+				// Drain remaining temp items, then exit.
+				item, ok2, _ := l.tempQ.TryGet()
+				if !ok2 {
+					return
+				}
+				if err := l.guard(func() error { return l.finishSlow(ctx, item.s) }, true); err != nil {
+					return
+				}
+				continue
+			}
+			if !ok {
+				if err := l.env.RT.Sleep(ctx, l.cfg.PollInterval); err != nil {
+					return
+				}
+				continue
+			}
+			l.emitted.Add(1)
+			if err := l.guard(func() error { return l.processNew(ctx, it) }, false); err != nil {
+				return
+			}
+		}
+	})
+}
+
+// guard runs fn, converting a panic into an abandoned-sample fault. For
+// slow-path work (alreadyEmitted), the in-flight sample was emitted long
+// ago; either way the abandoned counter keeps the termination accounting
+// consistent so batch constructors do not wait for a sample that will
+// never arrive.
+func (l *Loader) guard(fn func() error, alreadyEmitted bool) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			l.abandoned.Add(1)
+			l.faults.Add(1)
+			_ = alreadyEmitted
+		}
+	}()
+	return fn()
+}
+
+// Faults returns the number of samples abandoned due to panicking
+// transforms.
+func (l *Loader) Faults() int64 { return l.faults.Load() }
+
+// processNew runs the load-balancer path of Algorithm 1 for one sample.
+func (l *Loader) processNew(ctx context.Context, it loader.IndexItem) error {
+	s, err := loader.LoadSample(ctx, l.env, l.spec, it)
+	if err != nil {
+		return err
+	}
+	s.PreprocStart = l.env.RT.Now()
+
+	// Fig 3a heuristic mode: classify upfront by size, no timeout.
+	if l.cfg.SizeHeuristicThreshold > 0 {
+		if s.RawBytes > l.cfg.SizeHeuristicThreshold {
+			s.MarkedSlow = true
+			return l.tempQ.Put(ctx, tempItem{s: s})
+		}
+		if err := l.spec.Pipeline.Apply(ctx, l.env.CPU, s); err != nil {
+			return err
+		}
+		s.PreprocEnd = l.env.RT.Now()
+		l.profiler.Record(s.PreprocCost)
+		return l.putFast(ctx, s)
+	}
+
+	budget := l.profiler.Timeout()
+	err = l.spec.Pipeline.ApplyBudget(ctx, l.env.CPU, s, budget)
+	switch {
+	case err == nil:
+		s.PreprocEnd = l.env.RT.Now()
+		l.profiler.Record(s.PreprocCost)
+		l.profiler.Classified(false)
+		return l.putFast(ctx, s)
+	case errors.Is(err, transform.ErrInterrupted):
+		s.MarkedSlow = true
+		l.profiler.Classified(true)
+		if l.cfg.RestartSlowFromScratch {
+			s = s.Clone() // ablation: discard partial progress
+			s.MarkedSlow = true
+		}
+		return l.tempQ.Put(ctx, tempItem{s: s})
+	default:
+		return err
+	}
+}
+
+// finishSlow completes a timed-out sample from its recorded transform
+// index and publishes it to the slow queue (Algorithm 1 lines 14–18).
+func (l *Loader) finishSlow(ctx context.Context, s *data.Sample) error {
+	s.ResumedFrom = s.NextTransform
+	s.TimesResumed++
+	if err := l.spec.Pipeline.Apply(ctx, l.env.CPU, s); err != nil {
+		return err
+	}
+	s.PreprocEnd = l.env.RT.Now()
+	l.profiler.Record(s.PreprocCost)
+	if l.cfg.OrderPreserving {
+		l.ordered.add(s)
+		l.enqueued.Add(1)
+		return nil
+	}
+	l.enqueued.Add(1)
+	return l.slowQ.Put(ctx, s)
+}
+
+func (l *Loader) putFast(ctx context.Context, s *data.Sample) error {
+	if l.cfg.OrderPreserving {
+		l.ordered.add(s)
+		l.enqueued.Add(1)
+		return nil
+	}
+	l.enqueued.Add(1)
+	return l.fastQ.Put(ctx, s)
+}
+
+// batchConstructor assembles batches for GPU g: fast queue first, slow
+// queue second, polling when neither has samples (Algorithm 1 lines 19–30).
+// Each full batch occupies a claimed slot of the delivery budget, so the
+// tail of the sample stream lands in exactly one constructor.
+func (l *Loader) batchConstructor(ctx context.Context, g int) {
+	out := l.batchQs[g]
+	defer out.Close()
+	total := int64(l.spec.TotalBatches())
+	for {
+		if l.stopFlag.Load() {
+			return
+		}
+		if l.claims.Add(1) > total {
+			return
+		}
+		b, ok := l.assemble(ctx)
+		if !ok {
+			return
+		}
+		if err := out.Put(ctx, b); err != nil {
+			return
+		}
+	}
+}
+
+// assemble gathers one full batch from the fast and slow queues.
+func (l *Loader) assemble(ctx context.Context) (*data.Batch, bool) {
+	batch := make([]*data.Sample, 0, l.spec.BatchSize)
+	for len(batch) < l.spec.BatchSize {
+		if l.stopFlag.Load() {
+			return nil, false
+		}
+		var s *data.Sample
+		if l.cfg.OrderPreserving {
+			s = l.ordered.takeNext()
+		} else if v, ok, _ := l.fastQ.TryGet(); ok {
+			s = v
+		} else if v, ok, _ := l.slowQ.TryGet(); ok {
+			s = v
+		}
+		if s == nil {
+			if l.drained() {
+				// Abnormal deficit (upstream failure): give up on the
+				// remaining partial batch rather than spin forever.
+				return nil, false
+			}
+			if err := l.env.RT.Sleep(ctx, l.cfg.PollInterval); err != nil {
+				return nil, false
+			}
+			continue
+		}
+		l.consumed.Add(1)
+		batch = append(batch, s)
+	}
+	return &data.Batch{
+		Samples:   batch,
+		Seq:       l.batchSeq.Add(1) - 1,
+		CreatedAt: l.env.RT.Now(),
+		// §4.3: a CUDA prefetch stream moves batch i to GPU memory while
+		// batch i−1 trains, so delivered batches are resident.
+		Resident: true,
+	}, true
+}
+
+// drained reports that no more samples will ever arrive: the index stream
+// ended and everything emitted has been consumed or is in a final queue
+// that is empty.
+func (l *Loader) drained() bool {
+	if !l.srcDone.Load() {
+		return false
+	}
+	if l.sched.liveWorkers() > 0 {
+		// Workers may still be finishing in-flight samples.
+		return l.enqueued.Load() == l.consumed.Load() && l.allQueuesEmpty() && l.workersIdle()
+	}
+	return l.enqueued.Load() == l.consumed.Load() && l.allQueuesEmpty()
+}
+
+func (l *Loader) allQueuesEmpty() bool {
+	if l.cfg.OrderPreserving {
+		return l.ordered.empty()
+	}
+	return l.fastQ.Len() == 0 && l.slowQ.Len() == 0 && l.tempQ.Len() == 0
+}
+
+func (l *Loader) workersIdle() bool {
+	// All emitted samples accounted for — enqueued or abandoned — so none
+	// is in flight inside a worker.
+	return l.emitted.Load() == l.enqueued.Load()+l.abandoned.Load()
+}
+
+// Next implements loader.Loader: per-GPU batch queues (Algorithm 1 lines
+// 31–37; queue Get already blocks, subsuming the sleep-poll loop).
+func (l *Loader) Next(ctx context.Context, g int) (*data.Batch, error) {
+	b, err := l.batchQs[g].Get(ctx)
+	if err != nil {
+		return nil, loader.EOFIfClosed(err)
+	}
+	return b, nil
+}
+
+// Stop implements loader.Loader.
+func (l *Loader) Stop() {
+	l.stopOnce.Do(func() {
+		l.stopFlag.Store(true)
+		if l.cancel != nil {
+			l.cancel()
+		}
+		l.idx.Out().Close()
+		l.fastQ.Close()
+		l.slowQ.Close()
+		l.tempQ.Close()
+		for _, q := range l.batchQs {
+			q.Close()
+		}
+	})
+}
+
+// Timeout exposes the current classification timeout (diagnostics).
+func (l *Loader) Timeout() time.Duration { return l.profiler.Timeout() }
+
+// Workers exposes the live worker count (diagnostics).
+func (l *Loader) Workers() int { return l.sched.liveWorkers() }
+
+// PeakWorkers exposes the largest pool size reached (diagnostics).
+func (l *Loader) PeakWorkers() int { return l.sched.peakWorkers() }
+
+// RegisterMetrics implements loader.Instrumented.
+func (l *Loader) RegisterMetrics(c *metrics.Collector) {
+	c.Register("minato_workers", func() float64 { return float64(l.sched.liveWorkers()) })
+	c.Register("minato_fastq", func() float64 { return float64(l.fastQ.Len()) })
+	c.Register("minato_slowq", func() float64 { return float64(l.slowQ.Len()) })
+	c.Register("minato_tempq", func() float64 { return float64(l.tempQ.Len()) })
+	c.Register("minato_batchq", func() float64 {
+		n := 0
+		for _, q := range l.batchQs {
+			n += q.Len()
+		}
+		return float64(n)
+	})
+	c.Register("minato_timeout_ms", func() float64 {
+		t := l.profiler.Timeout()
+		if t == math.MaxInt64 {
+			return -1
+		}
+		return float64(t) / float64(time.Millisecond)
+	})
+}
+
+// orderedBuffer supports the order-preserving mode (§6): completed samples
+// are released strictly in sampler order.
+type orderedBuffer struct {
+	mu      sync.Mutex
+	pending map[int64]*data.Sample
+	next    int64
+}
+
+func newOrderedBuffer() *orderedBuffer {
+	return &orderedBuffer{pending: make(map[int64]*data.Sample)}
+}
+
+func (o *orderedBuffer) add(s *data.Sample) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.pending[s.OriginalOrder] = s
+}
+
+// takeNext returns the next-in-order sample if ready, else nil.
+func (o *orderedBuffer) takeNext() *data.Sample {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	s, ok := o.pending[o.next]
+	if !ok {
+		return nil
+	}
+	delete(o.pending, o.next)
+	o.next++
+	return s
+}
+
+func (o *orderedBuffer) empty() bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.pending) == 0
+}

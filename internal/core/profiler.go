@@ -1,0 +1,154 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ProfilerConfig controls the timeout profiler (§4.2).
+type ProfilerConfig struct {
+	TimeoutPercentile  float64 // default threshold: P75
+	FallbackPercentile float64 // used when too many samples classify slow: P90
+	MaxSlowFraction    float64 // trigger for the fallback
+	WarmupSamples      int     // optimistic phase length
+	WindowSize         int     // sliding window for continuous re-profiling
+	RecomputeEvery     int     // records between threshold recomputations
+}
+
+// Profiler maintains the fast/slow classification timeout. During warmup
+// every sample is optimistically assumed fast (Timeout returns "infinite");
+// once enough preprocessing times have been observed, the timeout is the
+// configured percentile over a sliding window, recomputed continuously so
+// the threshold tracks workload drift. If the observed slow-classification
+// rate exceeds MaxSlowFraction (a skewed distribution), the profiler falls
+// back to the higher percentile (§4.2).
+type Profiler struct {
+	cfg ProfilerConfig
+
+	mu      sync.Mutex
+	window  []float64 // ring buffer of preprocessing times (seconds)
+	idx     int
+	filled  bool
+	records int
+
+	classifiedSlow  int64
+	classifiedTotal int64
+	fellBack        bool
+
+	// timeoutNs is read lock-free on the worker hot path.
+	timeoutNs atomic.Int64
+}
+
+// NewProfiler returns a profiler with defaults filled in.
+func NewProfiler(cfg ProfilerConfig) *Profiler {
+	if cfg.TimeoutPercentile <= 0 {
+		cfg.TimeoutPercentile = 0.75
+	}
+	if cfg.FallbackPercentile <= 0 {
+		cfg.FallbackPercentile = 0.90
+	}
+	if cfg.MaxSlowFraction <= 0 {
+		cfg.MaxSlowFraction = 0.40
+	}
+	if cfg.WarmupSamples <= 0 {
+		cfg.WarmupSamples = 48
+	}
+	if cfg.WindowSize <= 0 {
+		cfg.WindowSize = 2048
+	}
+	if cfg.RecomputeEvery <= 0 {
+		cfg.RecomputeEvery = 32
+	}
+	p := &Profiler{cfg: cfg, window: make([]float64, 0, cfg.WindowSize)}
+	p.timeoutNs.Store(math.MaxInt64)
+	return p
+}
+
+// Record adds one observed total preprocessing time.
+func (p *Profiler) Record(cost time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.window) < p.cfg.WindowSize {
+		p.window = append(p.window, cost.Seconds())
+	} else {
+		p.window[p.idx] = cost.Seconds()
+		p.idx = (p.idx + 1) % p.cfg.WindowSize
+		p.filled = true
+	}
+	p.records++
+	if p.records >= p.cfg.WarmupSamples && p.records%p.cfg.RecomputeEvery == 0 {
+		p.recomputeLocked()
+	} else if p.records == p.cfg.WarmupSamples {
+		p.recomputeLocked()
+	}
+}
+
+// Classified records a fast/slow classification outcome, feeding the
+// fallback trigger.
+func (p *Profiler) Classified(slow bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.classifiedTotal++
+	if slow {
+		p.classifiedSlow++
+	}
+	if !p.fellBack && p.classifiedTotal >= 64 {
+		frac := float64(p.classifiedSlow) / float64(p.classifiedTotal)
+		if frac > p.cfg.MaxSlowFraction {
+			p.fellBack = true
+			p.recomputeLocked()
+		}
+	}
+}
+
+func (p *Profiler) recomputeLocked() {
+	vals := make([]float64, len(p.window))
+	copy(vals, p.window)
+	sort.Float64s(vals)
+	pct := p.cfg.TimeoutPercentile
+	if p.fellBack {
+		pct = p.cfg.FallbackPercentile
+	}
+	pos := pct * float64(len(vals)-1)
+	lo := int(pos)
+	v := vals[lo]
+	if lo+1 < len(vals) {
+		frac := pos - float64(lo)
+		v = v*(1-frac) + vals[lo+1]*frac
+	}
+	p.timeoutNs.Store(int64(v * float64(time.Second)))
+}
+
+// Timeout returns the current classification budget. Before warmup
+// completes it is effectively infinite: all samples are optimistically
+// fast (§4.2).
+func (p *Profiler) Timeout() time.Duration {
+	return time.Duration(p.timeoutNs.Load())
+}
+
+// WarmupDone reports whether the optimistic phase has ended.
+func (p *Profiler) WarmupDone() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.records >= p.cfg.WarmupSamples
+}
+
+// FellBack reports whether the fallback percentile is active.
+func (p *Profiler) FellBack() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.fellBack
+}
+
+// SlowFraction returns the observed slow-classification rate.
+func (p *Profiler) SlowFraction() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.classifiedTotal == 0 {
+		return 0
+	}
+	return float64(p.classifiedSlow) / float64(p.classifiedTotal)
+}

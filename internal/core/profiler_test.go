@@ -1,0 +1,100 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestProfilerWarmupIsOptimistic(t *testing.T) {
+	p := NewProfiler(ProfilerConfig{WarmupSamples: 10})
+	if p.Timeout() != time.Duration(math.MaxInt64) {
+		t.Fatal("timeout not infinite before any record")
+	}
+	for i := 0; i < 9; i++ {
+		p.Record(100 * time.Millisecond)
+	}
+	if p.Timeout() != time.Duration(math.MaxInt64) {
+		t.Fatal("timeout set before warmup completed")
+	}
+	if p.WarmupDone() {
+		t.Fatal("warmup reported done early")
+	}
+	p.Record(100 * time.Millisecond)
+	if !p.WarmupDone() {
+		t.Fatal("warmup not done after enough records")
+	}
+	if p.Timeout() == time.Duration(math.MaxInt64) {
+		t.Fatal("timeout still infinite after warmup")
+	}
+}
+
+func TestProfilerComputesP75(t *testing.T) {
+	p := NewProfiler(ProfilerConfig{WarmupSamples: 100, RecomputeEvery: 100})
+	// 100 values: 1..100 ms. P75 ≈ 75ms.
+	for i := 1; i <= 100; i++ {
+		p.Record(time.Duration(i) * time.Millisecond)
+	}
+	got := p.Timeout()
+	if got < 70*time.Millisecond || got > 80*time.Millisecond {
+		t.Fatalf("timeout = %v, want ≈75ms", got)
+	}
+}
+
+func TestProfilerFallbackToP90(t *testing.T) {
+	p := NewProfiler(ProfilerConfig{
+		WarmupSamples: 100, RecomputeEvery: 100,
+		TimeoutPercentile: 0.75, FallbackPercentile: 0.90, MaxSlowFraction: 0.40,
+	})
+	for i := 1; i <= 100; i++ {
+		p.Record(time.Duration(i) * time.Millisecond)
+	}
+	before := p.Timeout()
+	// Report >40% slow classifications: the profiler must fall back.
+	for i := 0; i < 100; i++ {
+		p.Classified(i%2 == 0)
+	}
+	if !p.FellBack() {
+		t.Fatal("no fallback despite 50% slow classifications")
+	}
+	after := p.Timeout()
+	if after <= before {
+		t.Fatalf("fallback timeout %v not above P75 %v", after, before)
+	}
+	if after < 85*time.Millisecond || after > 95*time.Millisecond {
+		t.Fatalf("fallback timeout = %v, want ≈90ms", after)
+	}
+}
+
+func TestProfilerNoFallbackWhenSlowFractionOK(t *testing.T) {
+	p := NewProfiler(ProfilerConfig{WarmupSamples: 10, MaxSlowFraction: 0.40})
+	for i := 0; i < 20; i++ {
+		p.Record(10 * time.Millisecond)
+	}
+	for i := 0; i < 100; i++ {
+		p.Classified(i%5 == 0) // 20% slow
+	}
+	if p.FellBack() {
+		t.Fatal("fallback triggered at 20% slow fraction")
+	}
+	if got := p.SlowFraction(); got < 0.19 || got > 0.21 {
+		t.Fatalf("slow fraction = %v", got)
+	}
+}
+
+func TestProfilerTracksDrift(t *testing.T) {
+	// Continuous re-profiling: when the workload drifts, the sliding
+	// window moves the threshold (§4.2).
+	p := NewProfiler(ProfilerConfig{WarmupSamples: 32, WindowSize: 64, RecomputeEvery: 16})
+	for i := 0; i < 64; i++ {
+		p.Record(10 * time.Millisecond)
+	}
+	early := p.Timeout()
+	for i := 0; i < 128; i++ {
+		p.Record(500 * time.Millisecond)
+	}
+	late := p.Timeout()
+	if late <= early*10 {
+		t.Fatalf("timeout did not track drift: early=%v late=%v", early, late)
+	}
+}

@@ -1,0 +1,107 @@
+// Package data defines the vocabulary types flowing through every loader:
+// samples and batches. A Sample carries the observable properties a real
+// data loader would see (sizes, keys) plus hidden per-sample features that
+// drive the synthetic cost models — the loaders themselves never read the
+// hidden features, mirroring the paper's observation (§3.2) that
+// preprocessing cost is not predictable from observable attributes alone.
+package data
+
+import (
+	"fmt"
+	"time"
+)
+
+// Features are hidden per-sample properties that determine preprocessing
+// cost. They model input heterogeneity (resolution, sparsity, compression)
+// and randomized augmentation triggers (§3.1). Loaders must not read them.
+type Features struct {
+	// Complexity in [0,1] drives cost variability uncorrelated with size.
+	Complexity float64
+	// AugmentDraw in [0,1) selects randomized-augmentation cost tiers.
+	AugmentDraw float64
+	// Heavy marks samples subject to the speech HeavyStep transformation.
+	Heavy bool
+}
+
+// Sample is one training example moving through the pipeline.
+type Sample struct {
+	// Index identifies the sample within its dataset.
+	Index int
+	// Epoch is the training epoch this instance was drawn for.
+	Epoch int
+	// Key is the storage/cache key (stable across epochs).
+	Key string
+	// RawBytes is the on-storage size; Bytes is the current in-memory size
+	// and changes as transforms inflate or deflate the sample.
+	RawBytes, Bytes int64
+	// Features are hidden cost-model inputs (see Features).
+	Features Features
+	// PairKey links paired modalities (e.g. audio–text); loaders must keep
+	// paired samples together (§6).
+	PairKey string
+
+	// NextTransform is the pipeline resume index: Algorithm 1 records the
+	// transformation in progress when a sample times out, and background
+	// workers resume (re-executing that transform) from here.
+	NextTransform int
+
+	// Bookkeeping stamped by loaders (virtual time).
+	LoadedAt      time.Duration
+	PreprocStart  time.Duration
+	PreprocEnd    time.Duration
+	PreprocCost   time.Duration // accumulated full-speed compute consumed
+	MarkedSlow    bool          // flagged slow by a load balancer
+	ResumedFrom   int           // transform index a slow sample resumed from
+	TimesResumed  int
+	DeliveredSeq  int64 // order of delivery to training
+	OriginalOrder int64 // order the sampler drew the index in
+}
+
+// Clone returns a copy of s with preprocessing state reset, as if freshly
+// loaded. Used when a pipeline must restart from scratch.
+func (s *Sample) Clone() *Sample {
+	c := *s
+	c.Bytes = s.RawBytes
+	c.NextTransform = 0
+	c.PreprocCost = 0
+	return &c
+}
+
+// String implements fmt.Stringer for diagnostics.
+func (s *Sample) String() string {
+	return fmt.Sprintf("sample{#%d ep%d %s raw=%dMB}", s.Index, s.Epoch, s.Key, s.RawBytes>>20)
+}
+
+// Batch is a set of preprocessed samples ready for training.
+type Batch struct {
+	Samples   []*Sample
+	Seq       int64         // construction order
+	CreatedAt time.Duration // when batch construction completed
+	// Resident marks batches already in GPU memory: DALI preprocesses on
+	// the device, and MinatoLoader prefetches batches over a CUDA stream
+	// ahead of training (§4.3), so the trainer skips the H2D copy.
+	Resident bool
+}
+
+// Bytes returns the total processed size of the batch.
+func (b *Batch) Bytes() int64 {
+	var n int64
+	for _, s := range b.Samples {
+		n += s.Bytes
+	}
+	return n
+}
+
+// Size returns the number of samples.
+func (b *Batch) Size() int { return len(b.Samples) }
+
+// SlowCount returns how many samples in the batch were flagged slow.
+func (b *Batch) SlowCount() int {
+	n := 0
+	for _, s := range b.Samples {
+		if s.MarkedSlow {
+			n++
+		}
+	}
+	return n
+}

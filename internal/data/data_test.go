@@ -1,0 +1,49 @@
+package data
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCloneResetsPreprocessingState(t *testing.T) {
+	s := &Sample{
+		Index: 3, Key: "k/3", RawBytes: 100, Bytes: 55,
+		NextTransform: 2, PreprocCost: time.Second,
+		Features: Features{Complexity: 0.5, Heavy: true},
+	}
+	c := s.Clone()
+	if c.Bytes != 100 || c.NextTransform != 0 || c.PreprocCost != 0 {
+		t.Fatalf("clone state not reset: %+v", c)
+	}
+	if c.Index != 3 || c.Key != "k/3" || !c.Features.Heavy {
+		t.Fatalf("clone lost identity: %+v", c)
+	}
+	c.Bytes = 1
+	if s.Bytes != 55 {
+		t.Fatal("clone aliases original")
+	}
+}
+
+func TestBatchAccessors(t *testing.T) {
+	b := &Batch{Samples: []*Sample{
+		{Bytes: 10, MarkedSlow: true},
+		{Bytes: 20},
+		{Bytes: 30, MarkedSlow: true},
+	}}
+	if b.Bytes() != 60 {
+		t.Fatalf("Bytes = %d", b.Bytes())
+	}
+	if b.Size() != 3 {
+		t.Fatalf("Size = %d", b.Size())
+	}
+	if b.SlowCount() != 2 {
+		t.Fatalf("SlowCount = %d", b.SlowCount())
+	}
+}
+
+func TestSampleString(t *testing.T) {
+	s := &Sample{Index: 7, Epoch: 2, Key: "d/7", RawBytes: 64 << 20}
+	if got := s.String(); got == "" {
+		t.Fatal("empty String()")
+	}
+}

@@ -1,0 +1,45 @@
+package device
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/minatoloader/minato/internal/simtime"
+)
+
+func BenchmarkRunUncontended(b *testing.B) {
+	k := simtime.NewVirtual()
+	b.ReportAllocs()
+	b.ResetTimer()
+	k.Run(func() {
+		d := New(k, "cpu", 8)
+		for i := 0; i < b.N; i++ {
+			if err := d.Run(context.Background(), time.Millisecond); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkRunContended(b *testing.B) {
+	// 16 tasks on 4 capacity: every membership change rebalances.
+	k := simtime.NewVirtual()
+	b.ReportAllocs()
+	b.ResetTimer()
+	k.Run(func() {
+		d := New(k, "cpu", 4)
+		wg := simtime.NewWaitGroup(k)
+		per := b.N/16 + 1
+		for w := 0; w < 16; w++ {
+			wg.Go("task", func() {
+				for i := 0; i < per; i++ {
+					if err := d.Run(context.Background(), time.Millisecond); err != nil {
+						return
+					}
+				}
+			})
+		}
+		_ = wg.Wait(context.Background())
+	})
+}

@@ -1,0 +1,196 @@
+// Package device models shared-capacity hardware: CPU core pools, GPU
+// compute (with concurrent streams), and disk bandwidth.
+//
+// A Device has a capacity C of parallel units. k concurrent tasks each
+// progress at rate min(1, C/k): with k ≤ C every task runs at full speed;
+// beyond that the device is fair-shared. This single abstraction covers the
+// three substrates the paper's evaluation depends on:
+//
+//   - CPU pool: C = number of cores; oversubscribed preprocessing workers
+//     slow each other down (what MinatoLoader's worker scheduler must avoid).
+//   - GPU: C slightly above 1 models concurrent CUDA streams — DALI's
+//     GPU-side preprocessing overlaps training imperfectly, reproducing the
+//     resource contention of §3.5 (Takeaway 5).
+//   - Disk: C = 1, task work = bytes/bandwidth; concurrent readers share
+//     bandwidth fairly (§5.5).
+//
+// Progress accounting is exact piecewise integration: whenever the device's
+// per-task rate changes, every in-flight task re-computes its remaining work
+// and reschedules its completion alarm.
+package device
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"github.com/minatoloader/minato/internal/simtime"
+)
+
+// Device is a shared-capacity resource.
+type Device struct {
+	rt   simtime.Runtime
+	name string
+	cap  float64
+
+	mu      sync.Mutex
+	entries map[*entry]struct{}
+	rate    float64 // current per-task progress rate
+
+	// busyIntegral accumulates ∫ min(k, cap) dt in unit-seconds: the total
+	// amount of work the device has performed. Utilization over a window is
+	// Δbusy / (cap · Δt).
+	busyIntegral float64
+	lastAccount  time.Duration
+}
+
+type entry struct {
+	remaining float64 // seconds of work at full rate
+	rate      float64 // rate while parked
+	parkedAt  time.Duration
+	w         *simtime.Waiter
+}
+
+// New returns a device with the given parallel capacity (must be positive).
+func New(rt simtime.Runtime, name string, capacity float64) *Device {
+	if capacity <= 0 {
+		panic("device: capacity must be positive")
+	}
+	return &Device{
+		rt: rt, name: name, cap: capacity,
+		entries: make(map[*entry]struct{}),
+		rate:    1, lastAccount: rt.Now(),
+	}
+}
+
+// Name returns the device's diagnostic name.
+func (d *Device) Name() string { return d.name }
+
+// Capacity returns the device's parallel capacity.
+func (d *Device) Capacity() float64 { return d.cap }
+
+// Active returns the number of in-flight tasks.
+func (d *Device) Active() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.entries)
+}
+
+// Run occupies the device for `work` of full-speed compute time. Under
+// contention the wall (virtual) time taken is proportionally longer. It
+// returns ctx.Err() if cancelled mid-run (best-effort under the virtual
+// runtime; see simtime docs).
+func (d *Device) Run(ctx context.Context, work time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if work <= 0 {
+		return nil
+	}
+	e := &entry{remaining: work.Seconds()}
+	d.mu.Lock()
+	d.accountLocked()
+	d.entries[e] = struct{}{}
+	d.rebalanceLocked()
+
+	for {
+		e.rate = d.rate
+		e.parkedAt = d.rt.Now()
+		eta := time.Duration(e.remaining/e.rate*float64(time.Second)) + time.Nanosecond
+		w := d.rt.NewWaiter()
+		e.w = w
+		d.mu.Unlock()
+
+		// Completion alarm. Rate changes wake the task early via e.w, in
+		// which case the stale alarm fires harmlessly later (Wake on a
+		// woken waiter is a no-op).
+		d.rt.Go(d.name+"-alarm", func() {
+			_ = d.rt.Sleep(context.Background(), eta)
+			w.Wake()
+		})
+
+		err := w.Wait(ctx)
+		d.mu.Lock()
+		now := d.rt.Now()
+		e.remaining -= (now - e.parkedAt).Seconds() * e.rate
+		if err != nil {
+			d.accountLocked()
+			delete(d.entries, e)
+			d.rebalanceLocked()
+			d.mu.Unlock()
+			return err
+		}
+		if e.remaining <= 1e-9 {
+			d.accountLocked()
+			delete(d.entries, e)
+			d.rebalanceLocked()
+			d.mu.Unlock()
+			return nil
+		}
+		// Spurious or rate-change wake: loop with updated remaining work.
+	}
+}
+
+// rebalanceLocked recomputes the shared rate after a membership change and
+// wakes in-flight tasks if their rate changed.
+func (d *Device) rebalanceLocked() {
+	k := len(d.entries)
+	newRate := 1.0
+	if float64(k) > d.cap {
+		newRate = d.cap / float64(k)
+	}
+	if newRate == d.rate {
+		return
+	}
+	d.rate = newRate
+	for e := range d.entries {
+		if e.w != nil {
+			e.w.Wake()
+		}
+	}
+}
+
+// accountLocked integrates busy time up to now.
+func (d *Device) accountLocked() {
+	now := d.rt.Now()
+	k := float64(len(d.entries))
+	if k > d.cap {
+		k = d.cap
+	}
+	d.busyIntegral += k * (now - d.lastAccount).Seconds()
+	d.lastAccount = now
+}
+
+// BusySeconds returns the cumulative full-speed work performed, in
+// unit-seconds. Utilization over a window is Δbusy / (capacity · Δt).
+func (d *Device) BusySeconds() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.accountLocked()
+	return d.busyIntegral
+}
+
+// UtilizationGauge returns a sampling function computing utilization in
+// [0,1] over the window since the previous call. Suitable for a metrics
+// collector. Not safe for use from multiple goroutines.
+func (d *Device) UtilizationGauge() func() float64 {
+	lastBusy := d.BusySeconds()
+	lastT := d.rt.Now()
+	return func() float64 {
+		busy := d.BusySeconds()
+		now := d.rt.Now()
+		dt := (now - lastT).Seconds()
+		var u float64
+		if dt > 0 {
+			u = (busy - lastBusy) / (d.cap * dt)
+		}
+		lastBusy, lastT = busy, now
+		if u < 0 {
+			u = 0
+		}
+		if u > 1 {
+			u = 1
+		}
+		return u
+	}
+}

@@ -1,0 +1,99 @@
+package device
+
+import (
+	"context"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/minatoloader/minato/internal/simtime"
+)
+
+// Property: total work performed equals total work submitted, and no task
+// finishes before work/1-speed time, regardless of arrival pattern and
+// capacity.
+func TestQuickWorkConservation(t *testing.T) {
+	type task struct {
+		StartMs uint16 // arrival offset
+		WorkMs  uint16 // work amount
+	}
+	f := func(capRaw uint8, tasksRaw []task) bool {
+		capacity := float64(capRaw%7) + 0.5 // 0.5 .. 6.5
+		tasks := tasksRaw
+		if len(tasks) > 12 {
+			tasks = tasks[:12]
+		}
+		if len(tasks) == 0 {
+			return true
+		}
+		k := simtime.NewVirtual()
+		ok := true
+		var wantWork float64
+		k.Run(func() {
+			d := New(k, "dev", capacity)
+			wg := simtime.NewWaitGroup(k)
+			for _, tk := range tasks {
+				tk := tk
+				work := time.Duration(tk.WorkMs%500+1) * time.Millisecond
+				wantWork += work.Seconds()
+				start := time.Duration(tk.StartMs%200) * time.Millisecond
+				wg.Go("task", func() {
+					_ = k.Sleep(context.Background(), start)
+					began := k.Now()
+					if err := d.Run(context.Background(), work); err != nil {
+						ok = false
+						return
+					}
+					// A task can never run faster than full speed.
+					if elapsed := k.Now() - began; elapsed < work-time.Millisecond {
+						ok = false
+					}
+				})
+			}
+			_ = wg.Wait(context.Background())
+			if busy := d.BusySeconds(); math.Abs(busy-wantWork) > 0.02*wantWork+0.001 {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: aggregate completion time is bounded below by total work /
+// capacity (the device cannot exceed its capacity).
+func TestQuickCapacityBound(t *testing.T) {
+	f := func(nRaw, workRaw uint8) bool {
+		n := int(nRaw%10) + 1
+		work := time.Duration(workRaw%100+1) * time.Millisecond
+		capacity := 2.0
+		k := simtime.NewVirtual()
+		ok := true
+		k.Run(func() {
+			d := New(k, "dev", capacity)
+			wg := simtime.NewWaitGroup(k)
+			start := k.Now()
+			for i := 0; i < n; i++ {
+				wg.Go("task", func() {
+					_ = d.Run(context.Background(), work)
+				})
+			}
+			_ = wg.Wait(context.Background())
+			elapsed := (k.Now() - start).Seconds()
+			lower := float64(n) * work.Seconds() / capacity
+			if n <= 2 {
+				lower = work.Seconds()
+			}
+			if elapsed < lower-0.001 {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,226 @@
+// Package distributed extends the single-server evaluation to the
+// multi-node data-parallel setting the paper discusses in §6: each node is
+// a full testbed (CPU pool, GPUs, storage) running its own loader instance
+// over a dataset shard, and every training step ends with a gradient
+// all-reduce across nodes over the cluster interconnect.
+//
+// The paper's claim is qualitative — "MinatoLoader retains its
+// preprocessing and batch construction benefits" per node — and this
+// package makes it measurable: the per-step barrier means a single
+// input-stalled node stalls the whole cluster, so loader quality compounds
+// with scale.
+package distributed
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+
+	"github.com/minatoloader/minato/internal/dataset"
+	"github.com/minatoloader/minato/internal/hardware"
+	"github.com/minatoloader/minato/internal/loader"
+	"github.com/minatoloader/minato/internal/simtime"
+	"github.com/minatoloader/minato/internal/trainer"
+	"github.com/minatoloader/minato/internal/workload"
+)
+
+// Config describes the cluster.
+type Config struct {
+	// Nodes is the number of servers.
+	Nodes int
+	// Node is the per-node hardware (§3's Config A or B).
+	Node hardware.Config
+	// GradientBytes is the model gradient size exchanged per step.
+	GradientBytes int64
+	// InterconnectBW is the per-node network bandwidth (bytes/s).
+	InterconnectBW float64
+	// AllReduceLatency is the fixed per-step synchronization latency.
+	AllReduceLatency time.Duration
+}
+
+// DefaultConfig returns a 200 Gb/s-interconnect cluster of Config A nodes.
+func DefaultConfig(nodes int) Config {
+	return Config{
+		Nodes:            nodes,
+		Node:             hardware.ConfigA(),
+		GradientBytes:    350 << 20, // ResNet50-scale gradients
+		InterconnectBW:   25e9,
+		AllReduceLatency: 2 * time.Millisecond,
+	}
+}
+
+// allReduceTime models a ring all-reduce: each node sends and receives
+// 2·(n−1)/n of the gradient at the interconnect bandwidth.
+func (c Config) allReduceTime() time.Duration {
+	if c.Nodes <= 1 {
+		return 0
+	}
+	vol := 2 * float64(c.GradientBytes) * float64(c.Nodes-1) / float64(c.Nodes)
+	return c.AllReduceLatency + time.Duration(vol/c.InterconnectBW*float64(time.Second))
+}
+
+// Report is the outcome of a distributed run.
+type Report struct {
+	Workload string
+	Loader   string
+	Nodes    int
+	// TrainTime is the cluster wall time (all nodes synchronized).
+	TrainTime time.Duration
+	// Steps is the number of synchronized steps completed.
+	Steps int64
+	// Samples aggregates all nodes.
+	Samples int64
+	// AvgGPUUtil averages across every GPU in the cluster.
+	AvgGPUUtil float64
+	// AllReduceTime is the per-step synchronization cost applied.
+	AllReduceTime time.Duration
+}
+
+// Run executes a distributed data-parallel session on a fresh virtual
+// kernel. Every node consumes per-GPU batches from its own loader; after
+// each per-GPU step, nodes synchronize on a global barrier and pay the
+// all-reduce cost — the bulk-synchronous-parallel structure of DDP.
+func Run(cfg Config, w workload.Workload, f trainer.Factory) (*Report, error) {
+	if cfg.Nodes <= 0 {
+		return nil, errors.New("distributed: need at least one node")
+	}
+	k := simtime.NewVirtual()
+	rep := &Report{
+		Workload: w.Name, Loader: f.Name, Nodes: cfg.Nodes,
+		AllReduceTime: cfg.allReduceTime(),
+	}
+	var runErr error
+	k.Run(func() {
+		runErr = run(k, cfg, w, f, rep)
+	})
+	k.Drain()
+	if runErr != nil {
+		return nil, runErr
+	}
+	return rep, nil
+}
+
+func run(k *simtime.Virtual, cfg Config, w workload.Workload, f trainer.Factory, rep *Report) error {
+	ctx := context.Background()
+	wg := simtime.NewWaitGroup(k)
+
+	type node struct {
+		tb *hardware.Testbed
+		ld loader.Loader
+	}
+	nodes := make([]*node, cfg.Nodes)
+	totalConsumers := 0
+	for i := range nodes {
+		tb := hardware.NewTestbed(k, cfg.Node)
+		shardW := w.WithDataset(dataset.Shard(w.Dataset, i, cfg.Nodes))
+		spec := shardW.Spec()
+		env := &loader.Env{RT: k, CPU: tb.CPU, GPUs: tb.GPUs, Store: tb.Store, WG: wg}
+		nodes[i] = &node{tb: tb, ld: f.New(env, spec)}
+		totalConsumers += len(tb.GPUs)
+	}
+
+	barrier := simtime.NewBarrier(k, totalConsumers)
+	syncCost := cfg.allReduceTime()
+
+	for _, n := range nodes {
+		if err := n.ld.Start(ctx); err != nil {
+			return err
+		}
+	}
+
+	start := k.Now()
+	var steps, samples atomic.Int64
+	var lastEnd atomic.Int64
+	consumers := simtime.NewWaitGroup(k)
+	var consumeErr atomic.Value
+	for _, n := range nodes {
+		n := n
+		for g := range n.tb.GPUs {
+			g := g
+			consumers.Go("dist-consumer", func() {
+				dev := n.tb.GPUs[g]
+				for {
+					b, err := n.ld.Next(ctx, g)
+					if errors.Is(err, io.EOF) {
+						// This rank is out of data: release the others.
+						barrier.Break()
+						return
+					}
+					if err != nil {
+						consumeErr.Store(err)
+						barrier.Break()
+						return
+					}
+					if err := dev.Train(ctx, w.GPUStep); err != nil {
+						barrier.Break()
+						return
+					}
+					samples.Add(int64(len(b.Samples)))
+					// Gradient synchronization: bulk-synchronous step.
+					if _, err := barrier.Wait(ctx); err != nil {
+						return // barrier broken: another rank finished
+					}
+					if syncCost > 0 {
+						if err := k.Sleep(ctx, syncCost); err != nil {
+							return
+						}
+					}
+					steps.Add(1)
+					now := int64(k.Now())
+					for {
+						cur := lastEnd.Load()
+						if now <= cur || lastEnd.CompareAndSwap(cur, now) {
+							break
+						}
+					}
+				}
+			})
+		}
+	}
+	if err := consumers.Wait(ctx); err != nil {
+		return err
+	}
+	for _, n := range nodes {
+		n.ld.Stop()
+	}
+	if err := wg.Wait(ctx); err != nil {
+		return err
+	}
+	if e := consumeErr.Load(); e != nil {
+		return e.(error)
+	}
+
+	end := time.Duration(lastEnd.Load())
+	if end < start {
+		end = k.Now()
+	}
+	rep.TrainTime = end - start
+	rep.Steps = steps.Load()
+	rep.Samples = samples.Load()
+
+	dur := rep.TrainTime.Seconds()
+	if dur > 0 {
+		busy := 0.0
+		count := 0
+		for _, n := range nodes {
+			for _, g := range n.tb.GPUs {
+				busy += g.BusySeconds()
+				count++
+			}
+		}
+		rep.AvgGPUUtil = 100 * busy / (float64(count) * dur)
+		if rep.AvgGPUUtil > 100 {
+			rep.AvgGPUUtil = 100
+		}
+	}
+	return nil
+}
+
+// String summarizes the report.
+func (r *Report) String() string {
+	return fmt.Sprintf("%s/%s on %d nodes: %.1fs, %d steps, GPU %.1f%%",
+		r.Workload, r.Loader, r.Nodes, r.TrainTime.Seconds(), r.Steps, r.AvgGPUUtil)
+}

@@ -1,0 +1,100 @@
+package distributed
+
+import (
+	"testing"
+	"time"
+
+	"github.com/minatoloader/minato/internal/dataset"
+	"github.com/minatoloader/minato/internal/hardware"
+	"github.com/minatoloader/minato/internal/loaders"
+	"github.com/minatoloader/minato/internal/workload"
+)
+
+func distWorkload(iters int) workload.Workload {
+	w := workload.Speech(1, 3*time.Second)
+	w.Dataset = dataset.Subset(w.Dataset, 4000)
+	return w.WithIterations(iters)
+}
+
+func smallCluster(nodes int) Config {
+	c := DefaultConfig(nodes)
+	c.Node = hardware.ConfigA().WithGPUs(1)
+	return c
+}
+
+func TestSingleNodeRuns(t *testing.T) {
+	f, _ := loaders.ByName("minato")
+	rep, err := Run(smallCluster(1), distWorkload(15), f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Steps != 15 {
+		t.Fatalf("steps = %d, want 15", rep.Steps)
+	}
+	if rep.AllReduceTime != 0 {
+		t.Fatalf("single node should not pay all-reduce: %v", rep.AllReduceTime)
+	}
+}
+
+func TestTwoNodesSynchronize(t *testing.T) {
+	f, _ := loaders.ByName("minato")
+	rep, err := Run(smallCluster(2), distWorkload(15), f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Nodes != 2 {
+		t.Fatal("node count")
+	}
+	// Both ranks run ≈15 iterations each before the first EOF breaks the
+	// barrier; steps counts completed synchronized steps from all ranks.
+	if rep.Steps < 20 {
+		t.Fatalf("steps = %d, want ≈30 synchronized steps", rep.Steps)
+	}
+	if rep.AllReduceTime <= 0 {
+		t.Fatal("no all-reduce cost applied")
+	}
+}
+
+func TestMinatoRetainsAdvantageAcrossNodes(t *testing.T) {
+	// §6: MinatoLoader's benefits persist under data parallelism; with a
+	// per-step barrier an input-stalled rank stalls the cluster, so the
+	// gap versus PyTorch should not shrink with more nodes.
+	w := distWorkload(20)
+	pt, _ := loaders.ByName("pytorch")
+	mn, _ := loaders.ByName("minato")
+
+	ptRep, err := Run(smallCluster(2), w, pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mnRep, err := Run(smallCluster(2), w, mn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := ptRep.TrainTime.Seconds() / mnRep.TrainTime.Seconds()
+	t.Logf("2 nodes: pytorch=%.1fs minato=%.1fs speedup=%.2fx",
+		ptRep.TrainTime.Seconds(), mnRep.TrainTime.Seconds(), speedup)
+	if speedup < 1.5 {
+		t.Fatalf("distributed speedup = %.2fx, want >1.5x", speedup)
+	}
+}
+
+func TestAllReduceTimeRingModel(t *testing.T) {
+	c := DefaultConfig(4)
+	c.GradientBytes = 100e6
+	c.InterconnectBW = 10e9
+	c.AllReduceLatency = 0
+	// ring: 2·(3/4)·100MB / 10GB/s = 15 ms.
+	got := c.allReduceTime()
+	want := 15 * time.Millisecond
+	if got < want-time.Millisecond || got > want+time.Millisecond {
+		t.Fatalf("allReduceTime = %v, want ≈%v", got, want)
+	}
+}
+
+func TestZeroNodesRejected(t *testing.T) {
+	f, _ := loaders.ByName("minato")
+	if _, err := Run(Config{Nodes: 0}, distWorkload(5), f); err == nil {
+		t.Fatal("no error for zero nodes")
+	}
+}

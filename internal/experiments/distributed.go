@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/minatoloader/minato/internal/dataset"
+	"github.com/minatoloader/minato/internal/distributed"
+	"github.com/minatoloader/minato/internal/loaders"
+	"github.com/minatoloader/minato/internal/report"
+	"github.com/minatoloader/minato/internal/workload"
+)
+
+func init() {
+	register("dist", "Distributed data-parallel training across nodes (§6 extension)", runDist)
+}
+
+func runDist(o Options) (*Result, error) {
+	iters := 300
+	nodeCounts := []int{1, 2, 4}
+	if o.Quick {
+		iters = 80
+		nodeCounts = []int{1, 2}
+	}
+	w := workload.Speech(o.seed(), 3*time.Second)
+	w.Dataset = dataset.Subset(w.Dataset, 20000)
+	w = w.WithIterations(iters)
+
+	t := report.Table{
+		Title:  fmt.Sprintf("Distributed Speech-3s, %d iterations per rank (Config A nodes)", iters),
+		Header: []string{"nodes", "loader", "train_s", "steps", "gpu_util", "allreduce_ms"},
+	}
+	for _, n := range nodeCounts {
+		cfg := distributed.DefaultConfig(n)
+		for _, name := range []string{"pytorch", "minato"} {
+			f, _ := loaders.ByName(name)
+			rep, err := distributed.Run(cfg, w, f)
+			if err != nil {
+				return nil, fmt.Errorf("dist %d/%s: %w", n, name, err)
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprint(n), name,
+				report.Seconds(rep.TrainTime),
+				fmt.Sprint(rep.Steps),
+				report.Pct(rep.AvgGPUUtil),
+				report.F(rep.AllReduceTime.Seconds()*1000, 1),
+			})
+		}
+	}
+	res := &Result{ID: "dist", Title: "Distributed training (§6)", Tables: []report.Table{t},
+		Notes: []string{
+			"each node runs its own loader over a dataset shard; a per-step barrier applies ring all-reduce cost",
+			"MinatoLoader's per-node benefit compounds: one input-stalled rank stalls every rank",
+		}}
+	if o.OutDir != "" {
+		if err := report.WriteTableCSV(o.OutDir, "dist", t); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}

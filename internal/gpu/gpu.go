@@ -1,0 +1,164 @@
+// Package gpu models training accelerators on top of the shared-capacity
+// device abstraction. A GPU executes train steps, (for DALI) preprocessing
+// kernels, and host-to-device copies. Its compute device has capacity
+// slightly above 1: two concurrent CUDA streams make some progress in
+// parallel but contend for SMs, reproducing §3.5's observation that GPU
+// preprocessing interferes with training (Takeaway 5).
+package gpu
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/minatoloader/minato/internal/device"
+	"github.com/minatoloader/minato/internal/simtime"
+)
+
+// Arch describes a GPU architecture. Speed is relative to an A100: work
+// durations are specified in A100-seconds and divided by Speed.
+type Arch struct {
+	Name  string
+	Speed float64
+}
+
+// The two architectures of the paper's testbeds (§3).
+var (
+	A100 = Arch{Name: "A100", Speed: 1.0}
+	V100 = Arch{Name: "V100", Speed: 0.50}
+)
+
+// streamCapacity models imperfect overlap of concurrent CUDA streams:
+// two streams progress at 0.65× each rather than 0.5× (some overlap
+// benefit) or 1× (no contention).
+const streamCapacity = 1.3
+
+// ErrOutOfMemory is returned when a reservation exceeds GPU memory.
+var ErrOutOfMemory = errors.New("gpu: out of memory")
+
+// GPU is one simulated accelerator.
+type GPU struct {
+	ID   int
+	Arch Arch
+
+	compute *device.Device
+
+	mu       sync.Mutex
+	memCap   int64
+	memUsed  int64
+	memPeak  int64
+	trainSec float64 // cumulative A100-normalized train work
+}
+
+// New returns a GPU with the given architecture and memory capacity.
+func New(rt simtime.Runtime, id int, arch Arch, memBytes int64) *GPU {
+	return &GPU{
+		ID: id, Arch: arch,
+		compute: device.New(rt, fmt.Sprintf("gpu%d-%s", id, arch.Name), streamCapacity),
+		memCap:  memBytes,
+	}
+}
+
+// Train occupies the GPU for an A100-normalized work duration.
+func (g *GPU) Train(ctx context.Context, work time.Duration) error {
+	g.mu.Lock()
+	g.trainSec += work.Seconds()
+	g.mu.Unlock()
+	return g.compute.Run(ctx, g.scale(work))
+}
+
+// Preprocess occupies the GPU with preprocessing kernels (DALI's offload
+// path). It contends with Train through the shared stream capacity.
+func (g *GPU) Preprocess(ctx context.Context, work time.Duration) error {
+	return g.compute.Run(ctx, g.scale(work))
+}
+
+func (g *GPU) scale(work time.Duration) time.Duration {
+	return time.Duration(float64(work) / g.Arch.Speed)
+}
+
+// Executor adapts the GPU's preprocessing path to transform.Executor.
+type Executor struct{ G *GPU }
+
+// Run implements transform.Executor.
+func (e Executor) Run(ctx context.Context, work time.Duration) error {
+	return e.G.Preprocess(ctx, work)
+}
+
+// Reserve claims GPU memory (prefetch buffers, preprocessing workspace).
+func (g *GPU) Reserve(bytes int64) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.memUsed+bytes > g.memCap {
+		return fmt.Errorf("%w: used %d + %d > cap %d", ErrOutOfMemory, g.memUsed, bytes, g.memCap)
+	}
+	g.memUsed += bytes
+	if g.memUsed > g.memPeak {
+		g.memPeak = g.memUsed
+	}
+	return nil
+}
+
+// Release frees GPU memory.
+func (g *GPU) Release(bytes int64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.memUsed -= bytes
+	if g.memUsed < 0 {
+		g.memUsed = 0
+	}
+}
+
+// MemUsed returns current reserved memory.
+func (g *GPU) MemUsed() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.memUsed
+}
+
+// MemPeak returns the high-water mark of reserved memory.
+func (g *GPU) MemPeak() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.memPeak
+}
+
+// BusySeconds exposes cumulative compute busy time (for utilization).
+func (g *GPU) BusySeconds() float64 { return g.compute.BusySeconds() }
+
+// UtilizationGauge returns a window-utilization sampling function in [0,1].
+// Utilization is measured against a single full-speed stream (matching
+// nvidia-smi's notion), so a GPU running one kernel back-to-back reads
+// 100%.
+func (g *GPU) UtilizationGauge(rt simtime.Runtime) func() float64 {
+	lastBusy := g.BusySeconds()
+	lastT := rt.Now()
+	return func() float64 {
+		busy := g.BusySeconds()
+		now := rt.Now()
+		dt := (now - lastT).Seconds()
+		var u float64
+		if dt > 0 {
+			u = (busy - lastBusy) / dt
+		}
+		lastBusy, lastT = busy, now
+		if u < 0 {
+			u = 0
+		}
+		if u > 1 {
+			u = 1
+		}
+		return u
+	}
+}
+
+// Pool creates n GPUs of the same architecture.
+func Pool(rt simtime.Runtime, n int, arch Arch, memBytes int64) []*GPU {
+	gs := make([]*GPU, n)
+	for i := range gs {
+		gs[i] = New(rt, i, arch, memBytes)
+	}
+	return gs
+}

@@ -1,0 +1,71 @@
+package hardware
+
+import (
+	"testing"
+
+	"github.com/minatoloader/minato/internal/gpu"
+	"github.com/minatoloader/minato/internal/simtime"
+)
+
+func TestConfigAMatchesPaper(t *testing.T) {
+	c := ConfigA()
+	if c.Cores != 128 {
+		t.Errorf("cores = %d, want 128 (2×64-core EPYC)", c.Cores)
+	}
+	if c.GPUCount != 4 || c.GPUArch != gpu.A100 {
+		t.Errorf("GPUs = %d×%s, want 4×A100", c.GPUCount, c.GPUArch.Name)
+	}
+	if c.MemBytes != 512<<30 {
+		t.Errorf("mem = %d", c.MemBytes)
+	}
+}
+
+func TestConfigBMatchesPaper(t *testing.T) {
+	c := ConfigB()
+	if c.Cores != 80 {
+		t.Errorf("cores = %d, want 80 (2×40-core Xeon)", c.Cores)
+	}
+	if c.GPUCount != 8 || c.GPUArch != gpu.V100 {
+		t.Errorf("GPUs = %d×%s, want 8×V100", c.GPUCount, c.GPUArch.Name)
+	}
+	if c.StorageBandwidth != 7e9 {
+		t.Errorf("NVMe bandwidth = %v, want 7 GB/s", c.StorageBandwidth)
+	}
+}
+
+func TestWithGPUsAndMemoryLimit(t *testing.T) {
+	c := ConfigA().WithGPUs(2).WithMemoryLimit(80 << 30)
+	if c.GPUCount != 2 || c.MemBytes != 80<<30 {
+		t.Fatalf("overrides failed: %+v", c)
+	}
+	// Original unchanged (value semantics).
+	if ConfigA().GPUCount != 4 {
+		t.Fatal("ConfigA mutated")
+	}
+}
+
+func TestNewTestbedWiresDevices(t *testing.T) {
+	k := simtime.NewVirtual()
+	tb := NewTestbed(k, ConfigB().WithGPUs(3))
+	if len(tb.GPUs) != 3 {
+		t.Fatalf("GPUs = %d", len(tb.GPUs))
+	}
+	if tb.CPU.Capacity() != 80 {
+		t.Fatalf("CPU capacity = %v", tb.CPU.Capacity())
+	}
+	if tb.Store == nil || tb.Store.Cache != tb.Cache || tb.Store.Disk != tb.Disk {
+		t.Fatal("store not wired to cache/disk")
+	}
+	// Page cache gets memory minus working set.
+	if got := tb.Cache.Stats().Capacity; got != (512-16)<<30 {
+		t.Fatalf("cache capacity = %d", got)
+	}
+}
+
+func TestTinyMemoryLimitClampsCache(t *testing.T) {
+	k := simtime.NewVirtual()
+	tb := NewTestbed(k, ConfigB().WithMemoryLimit(1<<30))
+	if got := tb.Cache.Stats().Capacity; got != 1<<30 {
+		t.Fatalf("cache capacity = %d, want 1 GiB floor", got)
+	}
+}

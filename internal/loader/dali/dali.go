@@ -1,0 +1,231 @@
+// Package dali implements the NVIDIA DALI baseline (§2.1, §3.5): raw data
+// is loaded from storage on the CPU, but all preprocessing transforms
+// execute on the GPU as kernels roughly 10× faster than their CPU
+// counterparts (the paper's own calibration, §5.1). Preprocessing and
+// training share each GPU's compute, so aggressive preprocessing interferes
+// with training — Takeaway 5.
+//
+// The pipeline per GPU is:
+//
+//	reader (CPU, parallel I/O) → raw-batch queue (prefetch_queue_depth)
+//	→ GPU preprocessing task → ready queue (prefetch_queue_depth) → Next
+//
+// exec_pipelined/exec_async correspond to the buffered queues and the
+// asynchronous GPU preprocessing task. Buffered batches reserve GPU memory,
+// so deeper prefetch queues raise memory pressure (§3.4).
+package dali
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"github.com/minatoloader/minato/internal/data"
+	"github.com/minatoloader/minato/internal/gpu"
+	"github.com/minatoloader/minato/internal/loader"
+	"github.com/minatoloader/minato/internal/queue"
+	"github.com/minatoloader/minato/internal/transform"
+)
+
+// Config holds DALI's tuning knobs.
+type Config struct {
+	// QueueDepth is prefetch_queue_depth (default 2, §5.1).
+	QueueDepth int
+	// Speedup is the GPU-vs-CPU transform speed ratio (default 10, §5.1).
+	Speedup float64
+	// IOParallelism bounds concurrent sample loads per raw batch.
+	IOParallelism int
+}
+
+// DefaultConfig matches the paper's setup.
+func DefaultConfig() Config {
+	return Config{QueueDepth: 2, Speedup: 10, IOParallelism: 16}
+}
+
+// Loader is the DALI baseline.
+type Loader struct {
+	env  *loader.Env
+	spec loader.Spec
+	cfg  Config
+
+	idx      *loader.IndexSource
+	rawQs    []*queue.Queue[*data.Batch]
+	readyQs  []*queue.Queue[*data.Batch]
+	counter  *loader.DeliveryCounter
+	stopOnce sync.Once
+	cancel   context.CancelFunc
+}
+
+// New returns a DALI loader over the given spec.
+func New(env *loader.Env, spec loader.Spec, cfg Config) *Loader {
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 2
+	}
+	if cfg.Speedup <= 0 {
+		cfg.Speedup = 10
+	}
+	if cfg.IOParallelism <= 0 {
+		cfg.IOParallelism = 16
+	}
+	l := &Loader{
+		env: env, spec: spec, cfg: cfg,
+		idx:     loader.NewIndexSource(env, spec, 4*spec.BatchSize),
+		counter: loader.NewDeliveryCounter(spec.TotalBatches()),
+	}
+	for g := range env.GPUs {
+		l.rawQs = append(l.rawQs,
+			queue.New[*data.Batch](env.RT, "dali-raw", cfg.QueueDepth))
+		l.readyQs = append(l.readyQs,
+			queue.New[*data.Batch](env.RT, "dali-ready", cfg.QueueDepth))
+		_ = g
+	}
+	return l
+}
+
+// Name implements loader.Loader.
+func (l *Loader) Name() string { return "dali" }
+
+// Start implements loader.Loader.
+func (l *Loader) Start(ctx context.Context) error {
+	ctx, l.cancel = context.WithCancel(ctx)
+	l.idx.Start(ctx)
+
+	// Reader: assemble raw batches in order, loading samples with bounded
+	// parallel I/O, and hand them to GPU pipelines round-robin.
+	l.env.WG.Go("dali-reader", func() {
+		defer func() {
+			for _, q := range l.rawQs {
+				q.Close()
+			}
+		}()
+		var seq int64
+		for {
+			items := make([]loader.IndexItem, 0, l.spec.BatchSize)
+			for len(items) < l.spec.BatchSize {
+				it, err := l.idx.Out().Get(ctx)
+				if err != nil {
+					return
+				}
+				items = append(items, it)
+			}
+			b, err := l.loadRaw(ctx, seq, items)
+			if err != nil {
+				return
+			}
+			if err := l.rawQs[seq%int64(len(l.rawQs))].Put(ctx, b); err != nil {
+				return
+			}
+			seq++
+		}
+	})
+
+	// One GPU preprocessing pipeline per device (exec_async).
+	for g := range l.env.GPUs {
+		g := g
+		l.env.WG.Go("dali-gpu-pipe", func() {
+			l.gpuPipe(ctx, g)
+		})
+	}
+	return nil
+}
+
+// loadRaw loads a batch's samples with bounded parallelism. The returned
+// batch still holds raw (untransformed) samples.
+func (l *Loader) loadRaw(ctx context.Context, seq int64, items []loader.IndexItem) (*data.Batch, error) {
+	samples := make([]*data.Sample, len(items))
+	errs := make([]error, len(items))
+	sem := queue.New[struct{}](l.env.RT, "dali-iosem", l.cfg.IOParallelism)
+	wg := l.env.WG
+	done := queue.New[int](l.env.RT, "dali-iodone", len(items))
+	for i, it := range items {
+		i, it := i, it
+		if err := sem.Put(ctx, struct{}{}); err != nil {
+			return nil, err
+		}
+		wg.Go("dali-io", func() {
+			s, err := loader.LoadSample(ctx, l.env, l.spec, it)
+			if err == nil {
+				// Host-side ingest (decode headers, pin buffers): small CPU
+				// cost so DALI shows the paper's light CPU footprint.
+				ingest := time.Millisecond +
+					time.Duration(float64(s.RawBytes)/(1<<20)*0.2*float64(time.Millisecond))
+				err = l.env.CPU.Run(ctx, ingest)
+			}
+			samples[i], errs[i] = s, err
+			_, _, _ = sem.TryGet()
+			_ = done.Put(context.Background(), i)
+		})
+	}
+	for range items {
+		if _, err := done.Get(ctx); err != nil {
+			return nil, err
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &data.Batch{Samples: samples, Seq: seq, CreatedAt: l.env.RT.Now()}, nil
+}
+
+// gpuPipe preprocesses raw batches on GPU g and buffers ready batches.
+func (l *Loader) gpuPipe(ctx context.Context, g int) {
+	dev := l.env.GPUs[g]
+	exec := transform.ScaledExecutor{Exec: gpu.Executor{G: dev}, Speedup: l.cfg.Speedup}
+	defer l.readyQs[g].Close()
+	for {
+		b, err := l.rawQs[g].Get(ctx)
+		if err != nil {
+			return
+		}
+		for _, s := range b.Samples {
+			s.PreprocStart = l.env.RT.Now()
+			if err := l.spec.Pipeline.Apply(ctx, exec, s); err != nil {
+				return
+			}
+			s.PreprocEnd = l.env.RT.Now()
+		}
+		// Buffered ready batches live in GPU memory until consumed.
+		if err := dev.Reserve(b.Bytes()); err != nil {
+			// Memory pressure: DALI raises OOM in the real system (§3.4).
+			// Our harness surfaces it as a stopped pipeline.
+			return
+		}
+		b.Resident = true
+		b.CreatedAt = l.env.RT.Now()
+		if err := l.readyQs[g].Put(ctx, b); err != nil {
+			dev.Release(b.Bytes())
+			return
+		}
+	}
+}
+
+// Next implements loader.Loader: per-GPU ready queues.
+func (l *Loader) Next(ctx context.Context, g int) (*data.Batch, error) {
+	b, err := l.readyQs[g].Get(ctx)
+	if err != nil {
+		return nil, loader.EOFIfClosed(err)
+	}
+	l.env.GPUs[g].Release(b.Bytes())
+	if l.counter.Deliver() {
+		l.Stop()
+	}
+	return b, nil
+}
+
+// Stop implements loader.Loader.
+func (l *Loader) Stop() {
+	l.stopOnce.Do(func() {
+		if l.cancel != nil {
+			l.cancel()
+		}
+		l.idx.Out().Close()
+		for _, q := range l.rawQs {
+			q.Close()
+		}
+		for _, q := range l.readyQs {
+			q.Close()
+		}
+	})
+}

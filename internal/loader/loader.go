@@ -1,0 +1,187 @@
+// Package loader defines the vocabulary shared by every data loader in this
+// repository: the Loader interface the trainer consumes batches through, the
+// Spec describing what to load, the Env bundling substrate handles, and the
+// shuffled index source all loaders draw sample indices from.
+package loader
+
+import (
+	"context"
+	"errors"
+	"io"
+	"sync/atomic"
+
+	"github.com/minatoloader/minato/internal/data"
+	"github.com/minatoloader/minato/internal/dataset"
+	"github.com/minatoloader/minato/internal/device"
+	"github.com/minatoloader/minato/internal/dist"
+	"github.com/minatoloader/minato/internal/gpu"
+	"github.com/minatoloader/minato/internal/metrics"
+	"github.com/minatoloader/minato/internal/queue"
+	"github.com/minatoloader/minato/internal/simtime"
+	"github.com/minatoloader/minato/internal/storage"
+	"github.com/minatoloader/minato/internal/transform"
+)
+
+// Loader is the interface every data loader implements. Start launches the
+// loader's background tasks; Next returns preprocessed batches for a given
+// GPU consumer; Stop initiates shutdown (loaders also stop on their own
+// after delivering their budget).
+type Loader interface {
+	// Name identifies the loader in reports ("pytorch", "dali", "pecan",
+	// "minato").
+	Name() string
+	// Start launches background tasks into the loader's Env.WG group.
+	Start(ctx context.Context) error
+	// Next returns the next batch for GPU consumer g, or io.EOF after the
+	// configured budget has been delivered.
+	Next(ctx context.Context, g int) (*data.Batch, error)
+	// Stop requests shutdown; pending work is abandoned. Safe to call more
+	// than once, and after natural end-of-data.
+	Stop()
+}
+
+// Instrumented is optionally implemented by loaders exposing internal
+// gauges (queue occupancy, worker counts) to the metrics collector.
+type Instrumented interface {
+	RegisterMetrics(c *metrics.Collector)
+}
+
+// Spec describes the data a loader serves.
+type Spec struct {
+	Dataset   dataset.Dataset
+	Pipeline  *transform.Pipeline
+	BatchSize int
+	// Epochs and Iterations bound the run: if Iterations > 0 it wins,
+	// wrapping epochs as needed (Table 3 uses 1000 iterations for obj-det
+	// and speech, 50 epochs for img-seg).
+	Epochs     int
+	Iterations int
+	Seed       uint64
+}
+
+// BatchesPerEpoch returns the number of full batches per epoch (drop-last
+// semantics, matching PyTorch's drop_last=True).
+func (s Spec) BatchesPerEpoch() int {
+	return s.Dataset.Len() / s.BatchSize
+}
+
+// TotalBatches returns the delivery budget.
+func (s Spec) TotalBatches() int {
+	if s.Iterations > 0 {
+		return s.Iterations
+	}
+	e := s.Epochs
+	if e <= 0 {
+		e = 1
+	}
+	return e * s.BatchesPerEpoch()
+}
+
+// TotalSamples returns the number of sample draws the index source emits.
+func (s Spec) TotalSamples() int { return s.TotalBatches() * s.BatchSize }
+
+// Env bundles the simulated hardware a loader runs on.
+type Env struct {
+	RT    simtime.Runtime
+	CPU   *device.Device
+	GPUs  []*gpu.GPU
+	Store *storage.Store
+	// WG tracks loader tasks; sessions wait on it during teardown.
+	WG *simtime.WaitGroup
+}
+
+// ErrStopped is returned by Next when the loader was stopped before the
+// delivery budget completed.
+var ErrStopped = errors.New("loader: stopped")
+
+// EOFIfClosed converts a queue-closed error into io.EOF, the contract of
+// Loader.Next.
+func EOFIfClosed(err error) error {
+	if errors.Is(err, queue.ErrClosed) {
+		return io.EOF
+	}
+	return err
+}
+
+// IndexItem is one sample draw from the shuffled index stream.
+type IndexItem struct {
+	Epoch int
+	Index int
+	Seq   int64 // global draw order
+}
+
+// IndexSource emits dataset indices in reshuffled epoch order, exactly
+// TotalSamples of them, then closes the output queue. Like the PyTorch
+// sampler, indices are drawn in a predetermined random order (§2.1); what
+// loaders do with that order is where they differ.
+type IndexSource struct {
+	Spec Spec
+	out  *queue.Queue[IndexItem]
+	env  *Env
+}
+
+// NewIndexSource returns an index source writing into a queue of the given
+// capacity.
+func NewIndexSource(env *Env, spec Spec, capacity int) *IndexSource {
+	return &IndexSource{
+		Spec: spec,
+		out:  queue.New[IndexItem](env.RT, "index", capacity),
+		env:  env,
+	}
+}
+
+// Out returns the index queue.
+func (is *IndexSource) Out() *queue.Queue[IndexItem] { return is.out }
+
+// Start launches the generator task.
+func (is *IndexSource) Start(ctx context.Context) {
+	is.env.WG.Go("index-source", func() {
+		defer is.out.Close()
+		total := is.Spec.TotalSamples()
+		perEpoch := is.Spec.BatchesPerEpoch() * is.Spec.BatchSize
+		var seq int64
+		for epoch := 0; seq < int64(total); epoch++ {
+			perm := dist.Permutation(is.Spec.Seed, uint64(epoch)+1000, is.Spec.Dataset.Len())
+			for i := 0; i < perEpoch && seq < int64(total); i++ {
+				item := IndexItem{Epoch: epoch, Index: perm[i], Seq: seq}
+				if err := is.out.Put(ctx, item); err != nil {
+					return
+				}
+				seq++
+			}
+		}
+	})
+}
+
+// LoadSample materializes, reads, and stamps a sample for an index item.
+func LoadSample(ctx context.Context, env *Env, spec Spec, it IndexItem) (*data.Sample, error) {
+	s := spec.Dataset.Sample(it.Epoch, it.Index)
+	s.OriginalOrder = it.Seq
+	if err := env.Store.ReadSample(ctx, env.RT, s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// DeliveryCounter tracks how many batches have been delivered and closes
+// over the budget, shared by loader implementations.
+type DeliveryCounter struct {
+	delivered atomic.Int64
+	budget    int64
+}
+
+// NewDeliveryCounter returns a counter with the given budget.
+func NewDeliveryCounter(budget int) *DeliveryCounter {
+	return &DeliveryCounter{budget: int64(budget)}
+}
+
+// Deliver increments and reports whether this delivery completed the budget.
+func (d *DeliveryCounter) Deliver() (done bool) {
+	return d.delivered.Add(1) >= d.budget
+}
+
+// Delivered returns the count so far.
+func (d *DeliveryCounter) Delivered() int64 { return d.delivered.Load() }
+
+// Budget returns the total budget.
+func (d *DeliveryCounter) Budget() int64 { return d.budget }

@@ -1,0 +1,165 @@
+package loader
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/minatoloader/minato/internal/dataset"
+	"github.com/minatoloader/minato/internal/queue"
+	"github.com/minatoloader/minato/internal/simtime"
+	"github.com/minatoloader/minato/internal/transform"
+)
+
+func testSpec(epochs, iters int) Spec {
+	return Spec{
+		Dataset:    dataset.Subset(dataset.NewCOCO(1), 100),
+		Pipeline:   transform.ObjectDetectionPipeline(),
+		BatchSize:  8,
+		Epochs:     epochs,
+		Iterations: iters,
+		Seed:       7,
+	}
+}
+
+func TestSpecBudgetsEpochMode(t *testing.T) {
+	s := testSpec(3, 0)
+	if s.BatchesPerEpoch() != 12 { // 100/8
+		t.Fatalf("BatchesPerEpoch = %d", s.BatchesPerEpoch())
+	}
+	if s.TotalBatches() != 36 || s.TotalSamples() != 288 {
+		t.Fatalf("totals = %d/%d", s.TotalBatches(), s.TotalSamples())
+	}
+}
+
+func TestSpecBudgetsIterationMode(t *testing.T) {
+	s := testSpec(0, 50)
+	if s.TotalBatches() != 50 || s.TotalSamples() != 400 {
+		t.Fatalf("totals = %d/%d", s.TotalBatches(), s.TotalSamples())
+	}
+}
+
+func TestIndexSourceEmitsExactBudgetAndCloses(t *testing.T) {
+	k := simtime.NewVirtual()
+	k.Run(func() {
+		env := &Env{RT: k, WG: simtime.NewWaitGroup(k)}
+		spec := testSpec(2, 0)
+		is := NewIndexSource(env, spec, 32)
+		is.Start(context.Background())
+		seen := 0
+		var lastSeq int64 = -1
+		epochCount := map[int]int{}
+		for {
+			it, err := is.Out().Get(context.Background())
+			if err == queue.ErrClosed {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if it.Seq != lastSeq+1 {
+				t.Fatalf("seq %d after %d", it.Seq, lastSeq)
+			}
+			lastSeq = it.Seq
+			epochCount[it.Epoch]++
+			seen++
+		}
+		if seen != spec.TotalSamples() {
+			t.Fatalf("emitted %d, want %d", seen, spec.TotalSamples())
+		}
+		// drop_last: 96 of 100 indices per epoch.
+		if epochCount[0] != 96 || epochCount[1] != 96 {
+			t.Fatalf("per-epoch counts: %v", epochCount)
+		}
+		_ = env.WG.Wait(context.Background())
+	})
+}
+
+func TestIndexSourceShufflesPerEpoch(t *testing.T) {
+	k := simtime.NewVirtual()
+	k.Run(func() {
+		env := &Env{RT: k, WG: simtime.NewWaitGroup(k)}
+		spec := testSpec(2, 0)
+		is := NewIndexSource(env, spec, 512)
+		is.Start(context.Background())
+		perEpoch := map[int][]int{}
+		for {
+			it, err := is.Out().Get(context.Background())
+			if err != nil {
+				break
+			}
+			perEpoch[it.Epoch] = append(perEpoch[it.Epoch], it.Index)
+		}
+		same := true
+		for i := range perEpoch[0] {
+			if perEpoch[0][i] != perEpoch[1][i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("epochs 0 and 1 used identical order: no reshuffle")
+		}
+		// No duplicate indices within an epoch.
+		seen := map[int]bool{}
+		for _, idx := range perEpoch[0] {
+			if seen[idx] {
+				t.Fatalf("index %d drawn twice in one epoch", idx)
+			}
+			seen[idx] = true
+		}
+		_ = env.WG.Wait(context.Background())
+	})
+}
+
+func TestIterationModeWrapsEpochs(t *testing.T) {
+	k := simtime.NewVirtual()
+	k.Run(func() {
+		env := &Env{RT: k, WG: simtime.NewWaitGroup(k)}
+		spec := testSpec(0, 30) // 240 samples over a 96-per-epoch budget
+		is := NewIndexSource(env, spec, 512)
+		is.Start(context.Background())
+		maxEpoch, n := 0, 0
+		for {
+			it, err := is.Out().Get(context.Background())
+			if err != nil {
+				break
+			}
+			if it.Epoch > maxEpoch {
+				maxEpoch = it.Epoch
+			}
+			n++
+		}
+		if n != 240 {
+			t.Fatalf("emitted %d, want 240", n)
+		}
+		if maxEpoch != 2 {
+			t.Fatalf("max epoch = %d, want 2 (240 = 96+96+48)", maxEpoch)
+		}
+		_ = env.WG.Wait(context.Background())
+	})
+}
+
+func TestDeliveryCounter(t *testing.T) {
+	c := NewDeliveryCounter(3)
+	if c.Deliver() || c.Deliver() {
+		t.Fatal("done before budget")
+	}
+	if !c.Deliver() {
+		t.Fatal("not done at budget")
+	}
+	if c.Delivered() != 3 || c.Budget() != 3 {
+		t.Fatalf("counter state: %d/%d", c.Delivered(), c.Budget())
+	}
+}
+
+func TestEOFIfClosed(t *testing.T) {
+	if err := EOFIfClosed(queue.ErrClosed); err.Error() != "EOF" {
+		t.Fatalf("EOFIfClosed(ErrClosed) = %v", err)
+	}
+	sentinel := context.DeadlineExceeded
+	if err := EOFIfClosed(sentinel); err != sentinel {
+		t.Fatalf("EOFIfClosed passthrough = %v", err)
+	}
+	_ = time.Second
+}

@@ -1,0 +1,61 @@
+// Package loaders provides trainer factories for every data loader in the
+// repository, so experiments can sweep loaders uniformly.
+package loaders
+
+import (
+	"github.com/minatoloader/minato/internal/core"
+	"github.com/minatoloader/minato/internal/loader"
+	"github.com/minatoloader/minato/internal/loader/dali"
+	"github.com/minatoloader/minato/internal/loader/pecan"
+	"github.com/minatoloader/minato/internal/loader/pytorch"
+	"github.com/minatoloader/minato/internal/trainer"
+)
+
+// PyTorch returns a factory for the PyTorch DataLoader baseline.
+func PyTorch(cfg pytorch.Config) trainer.Factory {
+	return trainer.Factory{Name: "pytorch", New: func(env *loader.Env, spec loader.Spec) loader.Loader {
+		return pytorch.New(env, spec, cfg)
+	}}
+}
+
+// DALI returns a factory for the DALI baseline.
+func DALI(cfg dali.Config) trainer.Factory {
+	return trainer.Factory{Name: "dali", New: func(env *loader.Env, spec loader.Spec) loader.Loader {
+		return dali.New(env, spec, cfg)
+	}}
+}
+
+// Pecan returns a factory for the Pecan (AutoOrder) baseline.
+func Pecan(cfg pecan.Config) trainer.Factory {
+	return trainer.Factory{Name: "pecan", New: func(env *loader.Env, spec loader.Spec) loader.Loader {
+		return pecan.New(env, spec, cfg)
+	}}
+}
+
+// Minato returns a factory for MinatoLoader.
+func Minato(cfg core.Config) trainer.Factory {
+	return trainer.Factory{Name: "minato", New: func(env *loader.Env, spec loader.Spec) loader.Loader {
+		return core.New(env, spec, cfg)
+	}}
+}
+
+// Defaults returns the paper's four systems with their §5.1 configurations,
+// in the paper's comparison order.
+func Defaults() []trainer.Factory {
+	return []trainer.Factory{
+		PyTorch(pytorch.DefaultConfig()),
+		Pecan(pecan.DefaultConfig()),
+		DALI(dali.DefaultConfig()),
+		Minato(core.DefaultConfig()),
+	}
+}
+
+// ByName returns the default-configured factory for a loader name.
+func ByName(name string) (trainer.Factory, bool) {
+	for _, f := range Defaults() {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return trainer.Factory{}, false
+}

@@ -1,0 +1,53 @@
+package loaders
+
+import (
+	"testing"
+
+	"github.com/minatoloader/minato/internal/core"
+	"github.com/minatoloader/minato/internal/loader/dali"
+	"github.com/minatoloader/minato/internal/loader/pecan"
+	"github.com/minatoloader/minato/internal/loader/pytorch"
+)
+
+func TestDefaultsOrderAndNames(t *testing.T) {
+	fs := Defaults()
+	want := []string{"pytorch", "pecan", "dali", "minato"}
+	if len(fs) != len(want) {
+		t.Fatalf("factories = %d", len(fs))
+	}
+	for i, w := range want {
+		if fs[i].Name != w {
+			t.Fatalf("factory[%d] = %s, want %s", i, fs[i].Name, w)
+		}
+		if fs[i].New == nil {
+			t.Fatalf("factory %s has nil constructor", w)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"pytorch", "pecan", "dali", "minato"} {
+		f, ok := ByName(name)
+		if !ok || f.Name != name {
+			t.Fatalf("ByName(%q) = %v, %v", name, f.Name, ok)
+		}
+	}
+	if _, ok := ByName("tf.data"); ok {
+		t.Fatal("unknown loader resolved")
+	}
+}
+
+func TestCustomConfigsAccepted(t *testing.T) {
+	if f := PyTorch(pytorch.Config{Workers: 3}); f.Name != "pytorch" {
+		t.Fatal("PyTorch factory")
+	}
+	if f := DALI(dali.Config{QueueDepth: 5}); f.Name != "dali" {
+		t.Fatal("DALI factory")
+	}
+	if f := Pecan(pecan.Config{Workers: 3}); f.Name != "pecan" {
+		t.Fatal("Pecan factory")
+	}
+	if f := Minato(core.Config{QueueCap: 5}); f.Name != "minato" {
+		t.Fatal("Minato factory")
+	}
+}

@@ -1,0 +1,79 @@
+package metrics
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"github.com/minatoloader/minato/internal/simtime"
+)
+
+func TestCollectorSamplesAtInterval(t *testing.T) {
+	k := simtime.NewVirtual()
+	k.Run(func() {
+		c := NewCollector(k, time.Second)
+		n := 0.0
+		c.Register("counter", func() float64 { n++; return n })
+		wg := simtime.NewWaitGroup(k)
+		c.Start(wg)
+		_ = k.Sleep(context.Background(), 10500*time.Millisecond)
+		c.Stop()
+		_ = wg.Wait(context.Background())
+		ts := c.Series("counter")
+		if len(ts.Points) < 9 || len(ts.Points) > 11 {
+			t.Fatalf("points = %d, want ≈10", len(ts.Points))
+		}
+		// Samples are 1s apart in virtual time.
+		for i := 1; i < len(ts.Points); i++ {
+			if d := ts.Points[i].T - ts.Points[i-1].T; d != time.Second {
+				t.Fatalf("gap = %v, want 1s", d)
+			}
+		}
+	})
+}
+
+func TestCollectorStopEndsTask(t *testing.T) {
+	k := simtime.NewVirtual()
+	k.Run(func() {
+		c := NewCollector(k, time.Second)
+		c.Register("g", func() float64 { return 1 })
+		wg := simtime.NewWaitGroup(k)
+		c.Start(wg)
+		c.Stop()
+		if err := wg.Wait(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestCounterRateGauge(t *testing.T) {
+	k := simtime.NewVirtual()
+	k.Run(func() {
+		total := 0.0
+		g := CounterRateGauge(k, func() float64 { return total })
+		total = 100
+		_ = k.Sleep(context.Background(), 10*time.Second)
+		if r := g(); math.Abs(r-10) > 0.1 {
+			t.Fatalf("rate = %.2f, want 10/s", r)
+		}
+		_ = k.Sleep(context.Background(), 5*time.Second)
+		if r := g(); r != 0 {
+			t.Fatalf("idle rate = %.2f, want 0", r)
+		}
+	})
+}
+
+func TestNamesAndUnknownSeries(t *testing.T) {
+	k := simtime.NewVirtual()
+	c := NewCollector(k, time.Second)
+	c.Register("a", func() float64 { return 0 })
+	c.Register("b", func() float64 { return 0 })
+	names := c.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("names = %v", names)
+	}
+	if c.Series("zzz") != nil {
+		t.Fatal("unknown series not nil")
+	}
+}

@@ -1,0 +1,258 @@
+// Package queue provides a bounded, blocking, multi-producer multi-consumer
+// FIFO queue built on the simtime runtime. It mirrors the semantics of
+// torch.multiprocessing.Queue that MinatoLoader's paper implementation uses
+// (§4.4): atomic Put under contention, blocking Get, FIFO ordering.
+//
+// Close wakes every blocked producer and consumer deterministically, which
+// is the primary shutdown mechanism under the virtual-time runtime.
+package queue
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"github.com/minatoloader/minato/internal/simtime"
+)
+
+// ErrClosed is returned by Put after Close, and by Get after Close once the
+// buffer has drained.
+var ErrClosed = errors.New("queue: closed")
+
+// Queue is a bounded blocking FIFO.
+type Queue[T any] struct {
+	rt   simtime.Runtime
+	name string
+	cap  int
+
+	mu         sync.Mutex
+	buf        []T
+	closed     bool
+	getWaiters []*simtime.Waiter
+	putWaiters []*simtime.Waiter
+
+	// stats
+	puts, gets   int64
+	maxLen       int
+	occIntegral  float64 // ∫ len dt, in item-seconds
+	lastOccCheck time.Duration
+	created      time.Duration
+}
+
+// New returns a queue with the given capacity. Capacity must be positive.
+func New[T any](rt simtime.Runtime, name string, capacity int) *Queue[T] {
+	if capacity <= 0 {
+		panic("queue: capacity must be positive")
+	}
+	now := rt.Now()
+	return &Queue[T]{rt: rt, name: name, cap: capacity, lastOccCheck: now, created: now}
+}
+
+// Name returns the queue's diagnostic name.
+func (q *Queue[T]) Name() string { return q.name }
+
+// Cap returns the queue capacity.
+func (q *Queue[T]) Cap() int { return q.cap }
+
+// Len returns the current number of buffered items.
+func (q *Queue[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.buf)
+}
+
+// Closed reports whether Close has been called.
+func (q *Queue[T]) Closed() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.closed
+}
+
+func (q *Queue[T]) accountLocked() {
+	now := q.rt.Now()
+	q.occIntegral += float64(len(q.buf)) * (now - q.lastOccCheck).Seconds()
+	q.lastOccCheck = now
+}
+
+// Put appends v, blocking while the queue is full. It returns ErrClosed if
+// the queue is or becomes closed, or ctx.Err() on cancellation.
+func (q *Queue[T]) Put(ctx context.Context, v T) error {
+	q.mu.Lock()
+	for {
+		if q.closed {
+			q.mu.Unlock()
+			return ErrClosed
+		}
+		if len(q.buf) < q.cap {
+			q.accountLocked()
+			q.buf = append(q.buf, v)
+			if len(q.buf) > q.maxLen {
+				q.maxLen = len(q.buf)
+			}
+			q.puts++
+			q.wakeOneLocked(&q.getWaiters)
+			q.mu.Unlock()
+			return nil
+		}
+		w := q.rt.NewWaiter()
+		q.putWaiters = append(q.putWaiters, w)
+		q.mu.Unlock()
+		if err := w.Wait(ctx); err != nil {
+			q.mu.Lock()
+			q.removeWaiterLocked(&q.putWaiters, w)
+			if len(q.buf) < q.cap {
+				// Guard against a lost wakeup: someone may have woken us
+				// to fill the free slot we are abandoning.
+				q.wakeOneLocked(&q.putWaiters)
+			}
+			q.mu.Unlock()
+			return err
+		}
+		q.mu.Lock()
+	}
+}
+
+// TryPut appends v without blocking. It reports whether the item was
+// accepted; it returns ErrClosed after Close.
+func (q *Queue[T]) TryPut(v T) (bool, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false, ErrClosed
+	}
+	if len(q.buf) >= q.cap {
+		return false, nil
+	}
+	q.accountLocked()
+	q.buf = append(q.buf, v)
+	if len(q.buf) > q.maxLen {
+		q.maxLen = len(q.buf)
+	}
+	q.puts++
+	q.wakeOneLocked(&q.getWaiters)
+	return true, nil
+}
+
+// Get removes and returns the oldest item, blocking while the queue is
+// empty. After Close, Get drains remaining items and then returns ErrClosed.
+func (q *Queue[T]) Get(ctx context.Context) (T, error) {
+	var zero T
+	q.mu.Lock()
+	for {
+		if len(q.buf) > 0 {
+			v := q.popLocked()
+			q.mu.Unlock()
+			return v, nil
+		}
+		if q.closed {
+			q.mu.Unlock()
+			return zero, ErrClosed
+		}
+		w := q.rt.NewWaiter()
+		q.getWaiters = append(q.getWaiters, w)
+		q.mu.Unlock()
+		if err := w.Wait(ctx); err != nil {
+			q.mu.Lock()
+			q.removeWaiterLocked(&q.getWaiters, w)
+			if len(q.buf) > 0 {
+				q.wakeOneLocked(&q.getWaiters)
+			}
+			q.mu.Unlock()
+			return zero, err
+		}
+		q.mu.Lock()
+	}
+}
+
+// TryGet removes and returns the oldest item without blocking. ok is false
+// when the queue is empty. It returns ErrClosed once closed and drained.
+func (q *Queue[T]) TryGet() (v T, ok bool, err error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.buf) > 0 {
+		return q.popLocked(), true, nil
+	}
+	if q.closed {
+		var zero T
+		return zero, false, ErrClosed
+	}
+	var zero T
+	return zero, false, nil
+}
+
+func (q *Queue[T]) popLocked() T {
+	q.accountLocked()
+	v := q.buf[0]
+	var zero T
+	q.buf[0] = zero
+	q.buf = q.buf[1:]
+	q.gets++
+	q.wakeOneLocked(&q.putWaiters)
+	return v
+}
+
+// Close marks the queue closed and wakes every blocked producer and
+// consumer. Items already buffered remain readable. Close is idempotent.
+func (q *Queue[T]) Close() {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
+	q.accountLocked()
+	q.closed = true
+	gets, puts := q.getWaiters, q.putWaiters
+	q.getWaiters, q.putWaiters = nil, nil
+	q.mu.Unlock()
+	for _, w := range gets {
+		w.Wake()
+	}
+	for _, w := range puts {
+		w.Wake()
+	}
+}
+
+func (q *Queue[T]) wakeOneLocked(list *[]*simtime.Waiter) {
+	for len(*list) > 0 {
+		w := (*list)[0]
+		*list = (*list)[1:]
+		if w.Wake() {
+			return
+		}
+	}
+}
+
+func (q *Queue[T]) removeWaiterLocked(list *[]*simtime.Waiter, w *simtime.Waiter) {
+	for i, x := range *list {
+		if x == w {
+			*list = append((*list)[:i], (*list)[i+1:]...)
+			return
+		}
+	}
+}
+
+// Stats is a snapshot of queue activity.
+type Stats struct {
+	Name         string
+	Puts, Gets   int64
+	Len, Cap     int
+	MaxLen       int
+	AvgOccupancy float64 // time-weighted mean length
+}
+
+// Stats returns a snapshot of queue counters.
+func (q *Queue[T]) Stats() Stats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.accountLocked()
+	elapsed := (q.lastOccCheck - q.created).Seconds()
+	avg := 0.0
+	if elapsed > 0 {
+		avg = q.occIntegral / elapsed
+	}
+	return Stats{
+		Name: q.name, Puts: q.puts, Gets: q.gets,
+		Len: len(q.buf), Cap: q.cap, MaxLen: q.maxLen, AvgOccupancy: avg,
+	}
+}

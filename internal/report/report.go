@@ -1,0 +1,135 @@
+// Package report renders experiment results as aligned text tables and CSV
+// files, the formats cmd/minato-bench emits for every reproduced table and
+// figure.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"github.com/minatoloader/minato/internal/stats"
+)
+
+// Table is a titled grid of cells.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Render returns the table as aligned text.
+func (t Table) Render() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// WriteCSV writes header+rows to dir/name.csv, creating dir as needed.
+func WriteCSV(dir, name string, header []string, rows [][]string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	if err := w.WriteAll(rows); err != nil {
+		return err
+	}
+	w.Flush()
+	return w.Error()
+}
+
+// WriteTableCSV writes a Table to dir/name.csv.
+func WriteTableCSV(dir, name string, t Table) error {
+	return WriteCSV(dir, name, t.Header, t.Rows)
+}
+
+// WriteSeriesCSV writes one or more aligned-by-row time series to
+// dir/name.csv with a time column in seconds.
+func WriteSeriesCSV(dir, name string, series ...*stats.TimeSeries) error {
+	header := []string{"t_seconds"}
+	maxLen := 0
+	for _, ts := range series {
+		header = append(header, ts.Name)
+		if len(ts.Points) > maxLen {
+			maxLen = len(ts.Points)
+		}
+	}
+	rows := make([][]string, 0, maxLen)
+	for i := 0; i < maxLen; i++ {
+		row := make([]string, 0, len(header))
+		tset := false
+		for _, ts := range series {
+			if i < len(ts.Points) && !tset {
+				row = append(row, F(ts.Points[i].T.Seconds(), 1))
+				tset = true
+				break
+			}
+		}
+		if !tset {
+			row = append(row, "")
+		}
+		for _, ts := range series {
+			if i < len(ts.Points) {
+				row = append(row, F(ts.Points[i].V, 2))
+			} else {
+				row = append(row, "")
+			}
+		}
+		rows = append(rows, row)
+	}
+	return WriteCSV(dir, name, header, rows)
+}
+
+// F formats a float with the given precision.
+func F(v float64, prec int) string { return fmt.Sprintf("%.*f", prec, v) }
+
+// Seconds formats a duration as seconds with one decimal.
+func Seconds(d time.Duration) string { return fmt.Sprintf("%.1f", d.Seconds()) }
+
+// Pct formats a percentage with one decimal.
+func Pct(v float64) string { return fmt.Sprintf("%.1f%%", v) }
+
+// MB formats bytes as megabytes.
+func MB(b int64) string { return fmt.Sprintf("%.1f", float64(b)/1e6) }

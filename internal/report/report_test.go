@@ -1,0 +1,92 @@
+package report
+
+import (
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/minatoloader/minato/internal/stats"
+)
+
+func TestTableRenderAligned(t *testing.T) {
+	tb := Table{
+		Title:  "demo",
+		Header: []string{"name", "value"},
+		Rows:   [][]string{{"a", "1"}, {"longer-name", "22"}},
+	}
+	out := tb.Render()
+	if !strings.Contains(out, "== demo ==") {
+		t.Fatal("missing title")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	// Header and separator widths line up.
+	if len(lines[1]) != len(lines[2]) {
+		t.Fatalf("separator misaligned:\n%s", out)
+	}
+}
+
+func TestWriteCSVRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	err := WriteCSV(dir, "x", []string{"a", "b"}, [][]string{{"1", "2"}, {"3", "4"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(filepath.Join(dir, "x.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 || rows[0][0] != "a" || rows[2][1] != "4" {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestWriteSeriesCSV(t *testing.T) {
+	dir := t.TempDir()
+	a := &stats.TimeSeries{Name: "cpu"}
+	b := &stats.TimeSeries{Name: "gpu"}
+	for i := 0; i < 3; i++ {
+		a.Append(time.Duration(i)*time.Second, float64(i))
+		b.Append(time.Duration(i)*time.Second, float64(10*i))
+	}
+	if err := WriteSeriesCSV(dir, "usage", a, b); err != nil {
+		t.Fatal(err)
+	}
+	f, _ := os.Open(filepath.Join(dir, "usage.csv"))
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0][1] != "cpu" || rows[0][2] != "gpu" {
+		t.Fatalf("header = %v", rows[0])
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(3.14159, 2) != "3.14" {
+		t.Fatal("F")
+	}
+	if Seconds(1500*time.Millisecond) != "1.5" {
+		t.Fatal("Seconds")
+	}
+	if Pct(42.25) != "42.2%" && Pct(42.25) != "42.3%" {
+		t.Fatalf("Pct = %s", Pct(42.25))
+	}
+	if MB(2_500_000) != "2.5" {
+		t.Fatalf("MB = %s", MB(2_500_000))
+	}
+}

@@ -1,0 +1,89 @@
+package simtime
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestBarrierReleasesAllTogether(t *testing.T) {
+	k := NewVirtual()
+	k.Run(func() {
+		b := NewBarrier(k, 3)
+		wg := NewWaitGroup(k)
+		var releases [3]int64
+		for i := 0; i < 3; i++ {
+			i := i
+			wg.Go("p", func() {
+				_ = k.Sleep(context.Background(), time.Duration(i+1)*time.Second)
+				if _, err := b.Wait(context.Background()); err != nil {
+					t.Errorf("Wait: %v", err)
+				}
+				releases[i] = int64(k.Now())
+			})
+		}
+		_ = wg.Wait(context.Background())
+		// All released when the last (3s) participant arrived.
+		for i, r := range releases {
+			if time.Duration(r) != 3*time.Second {
+				t.Errorf("participant %d released at %v, want 3s", i, time.Duration(r))
+			}
+		}
+	})
+}
+
+func TestBarrierIsCyclic(t *testing.T) {
+	k := NewVirtual()
+	k.Run(func() {
+		b := NewBarrier(k, 2)
+		wg := NewWaitGroup(k)
+		var rounds atomic.Int64
+		for i := 0; i < 2; i++ {
+			wg.Go("p", func() {
+				for r := 0; r < 5; r++ {
+					gen, err := b.Wait(context.Background())
+					if err != nil {
+						t.Errorf("Wait: %v", err)
+						return
+					}
+					if gen != uint64(r) {
+						t.Errorf("generation = %d, want %d", gen, r)
+						return
+					}
+					rounds.Add(1)
+				}
+			})
+		}
+		_ = wg.Wait(context.Background())
+		if rounds.Load() != 10 {
+			t.Fatalf("rounds = %d", rounds.Load())
+		}
+	})
+}
+
+func TestBarrierBreakReleasesWaiters(t *testing.T) {
+	k := NewVirtual()
+	k.Run(func() {
+		b := NewBarrier(k, 3)
+		wg := NewWaitGroup(k)
+		var broken atomic.Int64
+		for i := 0; i < 2; i++ {
+			wg.Go("p", func() {
+				if _, err := b.Wait(context.Background()); err == ErrBarrierBroken {
+					broken.Add(1)
+				}
+			})
+		}
+		_ = k.Sleep(context.Background(), time.Second)
+		b.Break()
+		_ = wg.Wait(context.Background())
+		if broken.Load() != 2 {
+			t.Fatalf("broken waiters = %d, want 2", broken.Load())
+		}
+		// Subsequent waits fail immediately.
+		if _, err := b.Wait(context.Background()); err != ErrBarrierBroken {
+			t.Fatalf("Wait after break = %v", err)
+		}
+	})
+}

@@ -1,0 +1,49 @@
+package simtime
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func BenchmarkVirtualSleep(b *testing.B) {
+	k := NewVirtual()
+	b.ReportAllocs()
+	b.ResetTimer()
+	k.Run(func() {
+		for i := 0; i < b.N; i++ {
+			_ = k.Sleep(context.Background(), time.Second)
+		}
+	})
+}
+
+func BenchmarkVirtualParallelSleepers(b *testing.B) {
+	k := NewVirtual()
+	b.ReportAllocs()
+	b.ResetTimer()
+	k.Run(func() {
+		wg := NewWaitGroup(k)
+		per := b.N/32 + 1
+		for w := 0; w < 32; w++ {
+			wg.Go("sleeper", func() {
+				for i := 0; i < per; i++ {
+					_ = k.Sleep(context.Background(), time.Millisecond)
+				}
+			})
+		}
+		_ = wg.Wait(context.Background())
+	})
+}
+
+func BenchmarkWaiterWakeWait(b *testing.B) {
+	k := NewVirtual()
+	b.ReportAllocs()
+	b.ResetTimer()
+	k.Run(func() {
+		for i := 0; i < b.N; i++ {
+			w := k.NewWaiter()
+			w.Wake()
+			_ = w.Wait(context.Background())
+		}
+	})
+}

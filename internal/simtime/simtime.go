@@ -1,0 +1,427 @@
+// Package simtime provides the runtime abstraction that every component of
+// this repository blocks through: sleeping, queue waits, and device
+// occupancy all go through a Runtime.
+//
+// Two implementations exist. Virtual is a deterministic discrete-event
+// kernel: virtual time advances only when every tracked task is parked, so a
+// simulated multi-thousand-second training run executes in milliseconds of
+// wall time with exact timing (no OS timer-resolution skew). Real wraps the
+// wall clock with a scale factor and is what a downstream user embeds in an
+// actual application.
+//
+// The contract for tasks running under Virtual: any blocking must happen via
+// Sleep, Waiter.Wait, or WaitGroup.Wait. Blocking on ordinary Go primitives
+// (unbuffered channels, sync.WaitGroup, ...) from a tracked task stalls the
+// kernel, because the kernel believes the task is runnable and refuses to
+// advance time.
+//
+// Context cancellation under Virtual is best-effort: a cancelled Sleep or
+// Wait returns promptly in wall time, but the kernel may have advanced
+// virtual time to the abandoned deadline if no other task was runnable.
+// Simulation code therefore coordinates shutdown deterministically through
+// kernel-visible events — queue Close, stop flags checked at operation
+// boundaries, and finite compute sleeps that always drain on their own.
+package simtime
+
+import (
+	"container/heap"
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Runtime is the clock and scheduler abstraction used by all pipeline
+// components.
+type Runtime interface {
+	// Now returns the elapsed (virtual or scaled real) time since the
+	// runtime was created.
+	Now() time.Duration
+	// Sleep pauses the calling task for d of simulated time, or until ctx
+	// is done, whichever comes first. It returns ctx.Err() when interrupted.
+	Sleep(ctx context.Context, d time.Duration) error
+	// Go spawns a tracked task. Under Virtual, time cannot advance while
+	// any tracked task is runnable.
+	Go(name string, fn func())
+	// NewWaiter returns a parking primitive for building blocking
+	// structures (queues, semaphores) on top of the runtime.
+	NewWaiter() *Waiter
+}
+
+// Waiter is a one-shot parking primitive. A task calls Wait to park; another
+// task calls Wake to unpark it. A Waiter may be woken before Wait is called,
+// in which case Wait returns immediately. Waiters are not reusable.
+type Waiter struct {
+	k  *Virtual // nil for the real runtime
+	ch chan struct{}
+
+	mu     sync.Mutex
+	state  waitState
+	parked bool
+}
+
+type waitState int
+
+const (
+	waitIdle waitState = iota
+	waitWaiting
+	waitWoken
+	waitCancelled
+)
+
+// Wake unparks the waiter. It reports whether the wakeup was delivered:
+// false means the waiter had already been cancelled (its Wait returned with
+// a context error), so the caller should wake someone else instead.
+func (w *Waiter) Wake() bool {
+	w.mu.Lock()
+	switch w.state {
+	case waitIdle:
+		w.state = waitWoken
+		close(w.ch)
+		w.mu.Unlock()
+		return true
+	case waitWaiting:
+		w.state = waitWoken
+		close(w.ch)
+		parked := w.parked
+		w.mu.Unlock()
+		if parked && w.k != nil {
+			w.k.unparked()
+		}
+		return true
+	case waitWoken:
+		w.mu.Unlock()
+		return true
+	default: // cancelled
+		w.mu.Unlock()
+		return false
+	}
+}
+
+// Wait parks the calling task until Wake or ctx cancellation.
+func (w *Waiter) Wait(ctx context.Context) error {
+	w.mu.Lock()
+	switch w.state {
+	case waitWoken:
+		w.mu.Unlock()
+		return nil
+	case waitIdle:
+		w.state = waitWaiting
+		w.parked = true
+	default:
+		w.mu.Unlock()
+		return fmt.Errorf("simtime: Wait called twice on the same Waiter")
+	}
+	w.mu.Unlock()
+
+	if w.k != nil {
+		w.k.parkedNow()
+	}
+
+	select {
+	case <-w.ch:
+		return nil
+	case <-ctx.Done():
+		w.mu.Lock()
+		if w.state == waitWoken {
+			// Wake raced with cancellation and won; treat as woken so the
+			// wakeup is not lost.
+			w.mu.Unlock()
+			return nil
+		}
+		w.state = waitCancelled
+		w.mu.Unlock()
+		if w.k != nil {
+			w.k.unparked()
+		}
+		return ctx.Err()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Virtual runtime
+// ---------------------------------------------------------------------------
+
+// Virtual is a deterministic discrete-event runtime. Time advances to the
+// earliest pending timer whenever all tracked tasks are parked.
+type Virtual struct {
+	mu       sync.Mutex
+	now      time.Duration
+	runnable int
+	tasks    int
+	timers   timerHeap
+	seq      int64
+	idle     chan struct{} // closed when tasks hits zero; replaced on Go
+}
+
+// NewVirtual returns a virtual runtime starting at time zero.
+func NewVirtual() *Virtual {
+	return &Virtual{idle: closedChan()}
+}
+
+func closedChan() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}
+
+// Now returns the current virtual time.
+func (k *Virtual) Now() time.Duration {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.now
+}
+
+// Go spawns fn as a tracked task.
+func (k *Virtual) Go(name string, fn func()) {
+	k.mu.Lock()
+	if k.tasks == 0 {
+		k.idle = make(chan struct{})
+	}
+	k.tasks++
+	k.runnable++
+	k.mu.Unlock()
+	go func() {
+		defer k.taskDone()
+		fn()
+	}()
+	_ = name
+}
+
+func (k *Virtual) taskDone() {
+	k.mu.Lock()
+	k.tasks--
+	k.runnable--
+	if k.tasks == 0 {
+		close(k.idle)
+	} else {
+		k.maybeAdvanceLocked()
+	}
+	k.mu.Unlock()
+}
+
+// Run executes fn as a tracked task and blocks the (untracked) caller until
+// it returns. It is the entry point for driving a simulation from a test or
+// a main function.
+func (k *Virtual) Run(fn func()) {
+	done := make(chan struct{})
+	k.Go("run", func() {
+		defer close(done)
+		fn()
+	})
+	<-done
+}
+
+// Drain blocks the (untracked) caller until every tracked task has exited.
+// Callers typically cancel the session context first so parked tasks wake
+// and unwind.
+func (k *Virtual) Drain() {
+	k.mu.Lock()
+	idle := k.idle
+	k.mu.Unlock()
+	<-idle
+}
+
+// Tasks returns the number of live tracked tasks.
+func (k *Virtual) Tasks() int {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.tasks
+}
+
+// Sleep pauses the calling task for d of virtual time.
+func (k *Virtual) Sleep(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if d <= 0 {
+		return nil
+	}
+	t := &timer{ch: make(chan struct{})}
+	k.mu.Lock()
+	t.deadline = k.now + d
+	k.seq++
+	t.seq = k.seq
+	heap.Push(&k.timers, t)
+	k.runnable--
+	k.maybeAdvanceLocked()
+	k.mu.Unlock()
+
+	select {
+	case <-t.ch:
+		return nil
+	case <-ctx.Done():
+		k.mu.Lock()
+		if !t.fired {
+			t.dead = true
+			k.runnable++
+		}
+		k.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// NewWaiter returns a kernel-aware parking primitive.
+func (k *Virtual) NewWaiter() *Waiter {
+	return &Waiter{k: k, ch: make(chan struct{})}
+}
+
+func (k *Virtual) parkedNow() {
+	k.mu.Lock()
+	k.runnable--
+	k.maybeAdvanceLocked()
+	k.mu.Unlock()
+}
+
+func (k *Virtual) unparked() {
+	k.mu.Lock()
+	k.runnable++
+	k.mu.Unlock()
+}
+
+// maybeAdvanceLocked advances virtual time to the next timer deadline while
+// no task is runnable. Called with k.mu held.
+func (k *Virtual) maybeAdvanceLocked() {
+	stallPolls := 0
+	for k.runnable == 0 && k.tasks > 0 {
+		// Discard timers abandoned by cancelled sleeps.
+		for len(k.timers) > 0 && k.timers[0].dead {
+			heap.Pop(&k.timers)
+		}
+		if len(k.timers) == 0 {
+			// No task is runnable and nothing is scheduled to wake one.
+			// This is either a genuine deadlock or a transient window:
+			// context cancellation wakes parked tasks through ordinary
+			// channels, so their kernel accounting lags by a few
+			// instructions. Poll briefly on the wall clock before
+			// declaring deadlock.
+			if stallPolls < maxStallPolls {
+				stallPolls++
+				k.mu.Unlock()
+				time.Sleep(stallPollInterval)
+				k.mu.Lock()
+				continue
+			}
+			panic(fmt.Sprintf(
+				"simtime: deadlock at t=%v: %d tasks alive, none runnable, no pending timers",
+				k.now, k.tasks))
+		}
+		stallPolls = 0
+		deadline := k.timers[0].deadline
+		k.now = deadline
+		for len(k.timers) > 0 && (k.timers[0].dead || k.timers[0].deadline == deadline) {
+			t := heap.Pop(&k.timers).(*timer)
+			if t.dead {
+				continue
+			}
+			t.fired = true
+			k.runnable++
+			close(t.ch)
+		}
+	}
+}
+
+const (
+	// stallPollInterval and maxStallPolls bound how long the kernel waits
+	// for in-flight wakeups (e.g. from context cancellation) before
+	// declaring a deadlock. Total grace period: ~2s of wall time.
+	stallPollInterval = 200 * time.Microsecond
+	maxStallPolls     = 10000
+)
+
+type timer struct {
+	deadline time.Duration
+	seq      int64
+	ch       chan struct{}
+	fired    bool
+	dead     bool
+	index    int
+}
+
+type timerHeap []*timer
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].deadline != h[j].deadline {
+		return h[i].deadline < h[j].deadline
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timerHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *timerHeap) Push(x any) {
+	t := x.(*timer)
+	t.index = len(*h)
+	*h = append(*h, t)
+}
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// Real runtime
+// ---------------------------------------------------------------------------
+
+// Real is a wall-clock runtime. Scale compresses simulated time: with
+// Scale=100, a simulated second passes in 10ms of wall time. Scale=1 is
+// real time.
+type Real struct {
+	start time.Time
+	scale float64
+}
+
+// NewReal returns a wall-clock runtime with the given compression factor.
+// scale values below 1 are clamped to 1.
+func NewReal(scale float64) *Real {
+	if scale < 1 {
+		scale = 1
+	}
+	return &Real{start: time.Now(), scale: scale}
+}
+
+// Now returns scaled elapsed wall time.
+func (r *Real) Now() time.Duration {
+	return time.Duration(float64(time.Since(r.start)) * r.scale)
+}
+
+// Sleep pauses for d of simulated time (d/scale of wall time).
+func (r *Real) Sleep(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(time.Duration(float64(d) / r.scale))
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Go spawns fn as an ordinary goroutine.
+func (r *Real) Go(name string, fn func()) {
+	_ = name
+	go fn()
+}
+
+// NewWaiter returns a channel-backed parking primitive.
+func (r *Real) NewWaiter() *Waiter {
+	return &Waiter{ch: make(chan struct{})}
+}
+
+var (
+	_ Runtime = (*Virtual)(nil)
+	_ Runtime = (*Real)(nil)
+)

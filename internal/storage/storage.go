@@ -1,0 +1,213 @@
+// Package storage models the persistent-storage path of the training
+// pipeline: a bandwidth-shared disk (NVMe or a parallel filesystem) fronted
+// by an OS page cache with a byte capacity.
+//
+// This is the substrate for §5.5's memory-constrained experiment: a 230 GB
+// dataset under an 80 GB cgroup cap forces every epoch to hit storage, so
+// loader quality shows up as sustained versus volatile disk reads.
+package storage
+
+import (
+	"container/list"
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/minatoloader/minato/internal/data"
+	"github.com/minatoloader/minato/internal/device"
+	"github.com/minatoloader/minato/internal/simtime"
+)
+
+// Disk is a bandwidth-shared storage device. Parallelism is the number of
+// concurrent streams that can each sustain full per-stream bandwidth
+// (Lustre-like filesystems serve several clients at once; an NVMe drive
+// saturates with few).
+type Disk struct {
+	dev      *device.Device
+	streamBW float64 // bytes per second per stream
+
+	mu       sync.Mutex
+	slowdown float64 // ≥1; failure-injection multiplier on read time
+
+	bytesRead atomic.Int64
+}
+
+// NewDisk returns a disk with the given aggregate bandwidth split across
+// `parallelism` full-speed streams.
+func NewDisk(rt simtime.Runtime, name string, aggregateBW float64, parallelism float64) *Disk {
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	return &Disk{
+		dev:      device.New(rt, name, parallelism),
+		streamBW: aggregateBW / parallelism,
+		slowdown: 1,
+	}
+}
+
+// Read occupies the disk for n bytes.
+func (d *Disk) Read(ctx context.Context, n int64) error {
+	if n <= 0 {
+		return nil
+	}
+	d.mu.Lock()
+	f := d.slowdown
+	d.mu.Unlock()
+	if err := d.dev.Run(ctx, time.Duration(float64(n)*f/d.streamBW*float64(time.Second))); err != nil {
+		return err
+	}
+	d.bytesRead.Add(n)
+	return nil
+}
+
+// SetSlowdown injects a storage degradation: subsequent reads take factor×
+// longer (factor ≥ 1; 1 restores full speed). Models transient contention
+// on shared filesystems or a failing drive — the I/O interference §5.3
+// observes on the Lustre testbed.
+func (d *Disk) SetSlowdown(factor float64) {
+	if factor < 1 {
+		factor = 1
+	}
+	d.mu.Lock()
+	d.slowdown = factor
+	d.mu.Unlock()
+}
+
+// BytesRead returns the cumulative bytes transferred (completed reads).
+func (d *Disk) BytesRead() int64 { return d.bytesRead.Load() }
+
+// AggregateBandwidth returns the disk's maximum total throughput.
+func (d *Disk) AggregateBandwidth() float64 {
+	return d.streamBW * d.dev.Capacity()
+}
+
+// ReadRateGauge returns a sampling function reporting read throughput in
+// bytes/second over the window since the previous call.
+func (d *Disk) ReadRateGauge(rt simtime.Runtime) func() float64 {
+	last := d.BytesRead()
+	lastT := rt.Now()
+	return func() float64 {
+		cur := d.BytesRead()
+		now := rt.Now()
+		dt := (now - lastT).Seconds()
+		var r float64
+		if dt > 0 {
+			r = float64(cur-last) / dt
+		}
+		last, lastT = cur, now
+		return r
+	}
+}
+
+// PageCache is a byte-capacity LRU cache keyed by sample storage keys.
+type PageCache struct {
+	mu       sync.Mutex
+	capacity int64
+	used     int64
+	ll       *list.List // front = most recently used
+	index    map[string]*list.Element
+
+	hits, misses, evictions int64
+}
+
+type cacheEntry struct {
+	key   string
+	bytes int64
+}
+
+// NewPageCache returns a cache with the given byte capacity.
+func NewPageCache(capacity int64) *PageCache {
+	return &PageCache{
+		capacity: capacity,
+		ll:       list.New(),
+		index:    make(map[string]*list.Element),
+	}
+}
+
+// Get reports whether key is cached, marking it most recently used.
+func (c *PageCache) Get(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.index[key]; ok {
+		c.ll.MoveToFront(e)
+		c.hits++
+		return true
+	}
+	c.misses++
+	return false
+}
+
+// Put inserts key with the given size, evicting least-recently-used entries
+// until the cache fits. Objects larger than the whole cache are not cached.
+func (c *PageCache) Put(key string, bytes int64) {
+	if bytes > c.capacity {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.index[key]; ok {
+		c.ll.MoveToFront(e)
+		return
+	}
+	for c.used+bytes > c.capacity {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		ent := back.Value.(*cacheEntry)
+		c.ll.Remove(back)
+		delete(c.index, ent.key)
+		c.used -= ent.bytes
+		c.evictions++
+	}
+	c.index[key] = c.ll.PushFront(&cacheEntry{key: key, bytes: bytes})
+	c.used += bytes
+}
+
+// CacheStats is a snapshot of cache counters.
+type CacheStats struct {
+	Capacity, Used          int64
+	Hits, Misses, Evictions int64
+}
+
+// Stats returns a snapshot of cache counters.
+func (c *PageCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Capacity: c.capacity, Used: c.used,
+		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
+	}
+}
+
+// HitRate returns hits/(hits+misses), or 0 before any access.
+func (c *PageCache) HitRate() float64 {
+	s := c.Stats()
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Store is the sample-loading path: page cache over disk.
+type Store struct {
+	Disk  *Disk
+	Cache *PageCache // nil disables caching
+}
+
+// ReadSample loads a sample's raw bytes, hitting the cache when possible
+// and stamping the sample's LoadedAt time.
+func (st *Store) ReadSample(ctx context.Context, rt simtime.Runtime, s *data.Sample) error {
+	if st.Cache == nil || !st.Cache.Get(s.Key) {
+		if err := st.Disk.Read(ctx, s.RawBytes); err != nil {
+			return err
+		}
+		if st.Cache != nil {
+			st.Cache.Put(s.Key, s.RawBytes)
+		}
+	}
+	s.LoadedAt = rt.Now()
+	return nil
+}

@@ -1,0 +1,421 @@
+// Package trainer drives end-to-end training sessions: per-GPU consumer
+// tasks pull batches from a data loader, pay the host-to-device copy when
+// the loader has not prefetched, and occupy their GPU for the workload's
+// step cost. The trainer records everything the paper's evaluation reports:
+// training time, throughput over time, CPU/GPU utilization, disk reads,
+// accuracy-vs-iteration curves, and batch-composition statistics.
+package trainer
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/minatoloader/minato/internal/data"
+	"github.com/minatoloader/minato/internal/hardware"
+	"github.com/minatoloader/minato/internal/loader"
+	"github.com/minatoloader/minato/internal/metrics"
+	"github.com/minatoloader/minato/internal/report"
+	"github.com/minatoloader/minato/internal/simtime"
+	"github.com/minatoloader/minato/internal/stats"
+	"github.com/minatoloader/minato/internal/storage"
+	"github.com/minatoloader/minato/internal/workload"
+)
+
+// Factory builds a loader for a session. Loader packages provide adapters.
+type Factory struct {
+	Name string
+	New  func(env *loader.Env, spec loader.Spec) loader.Loader
+}
+
+// Params tunes what a session records.
+type Params struct {
+	// Collect enables time-series sampling (CPU/GPU/disk/throughput).
+	Collect bool
+	// MetricsInterval is the sampling period (default 1s of virtual time).
+	MetricsInterval time.Duration
+	// CopyBandwidth is the host-to-device PCIe bandwidth for loaders that
+	// do not prefetch to the GPU (default 16 GB/s).
+	CopyBandwidth float64
+	// TrackComposition enables Fig 11's per-batch slow-sample accounting.
+	TrackComposition bool
+	// SlowThresholdPercentile classifies samples for composition analysis
+	// (default 0.75, matching MinatoLoader's profiler).
+	SlowThresholdPercentile float64
+	// AccuracyEvery records an accuracy point every N global iterations
+	// (default 50).
+	AccuracyEvery int
+	// TraceSamples records a per-sample timeline (load, preprocessing
+	// window, classification, delivery) into Report.Trace — the raw
+	// material for pipeline forensics. Costs memory proportional to the
+	// sample count.
+	TraceSamples bool
+}
+
+func (p *Params) fillDefaults() {
+	if p.MetricsInterval <= 0 {
+		p.MetricsInterval = time.Second
+	}
+	if p.CopyBandwidth <= 0 {
+		p.CopyBandwidth = 16e9
+	}
+	if p.SlowThresholdPercentile <= 0 {
+		p.SlowThresholdPercentile = 0.75
+	}
+	if p.AccuracyEvery <= 0 {
+		p.AccuracyEvery = 50
+	}
+}
+
+// AccPoint is one accuracy-curve sample (Fig 11a).
+type AccPoint struct {
+	Iter     int64
+	Elapsed  time.Duration
+	Accuracy float64
+}
+
+// SampleTrace is one sample's pipeline timeline.
+type SampleTrace struct {
+	Index        int
+	Epoch        int
+	RawBytes     int64
+	LoadedAt     time.Duration
+	PreprocStart time.Duration
+	PreprocEnd   time.Duration
+	PreprocCost  time.Duration
+	MarkedSlow   bool
+	TimesResumed int
+	BatchSeq     int64
+	TrainedAt    time.Duration
+	GPU          int
+}
+
+// Report is the outcome of one training session.
+type Report struct {
+	Workload string
+	Loader   string
+	GPUs     int
+
+	TrainTime time.Duration
+	Batches   int64
+	Samples   int64
+	// TrainedBytes is the cumulative processed size trained, the paper's
+	// throughput numerator (§5.1).
+	TrainedBytes int64
+
+	// Average utilizations in percent, over the whole run.
+	AvgGPUUtil float64
+	AvgCPUUtil float64
+
+	// Time series when Params.Collect is set: "cpu", "gpu" (percent),
+	// "disk" (bytes/s), "throughput" (bytes/s), plus loader-specific
+	// gauges (e.g. minato_workers).
+	Series map[string]*stats.TimeSeries
+
+	// Composition (Fig 11) when Params.TrackComposition is set.
+	SlowThreshold time.Duration
+	SlowHist      []int64    // batches by number of slow samples (0..BatchSize)
+	SlowPropByIt  []float64  // per-iteration slow proportion, delivery order
+	AccCurve      []AccPoint // accuracy curve (Fig 11a)
+
+	CacheStats storage.CacheStats
+	DiskBytes  int64
+
+	// Trace holds per-sample timelines when Params.TraceSamples is set,
+	// in delivery order.
+	Trace []SampleTrace
+}
+
+// WriteTraceCSV exports the sample trace for offline analysis.
+func (r *Report) WriteTraceCSV(dir, name string) error {
+	header := []string{"index", "epoch", "raw_bytes", "loaded_s", "preproc_start_s",
+		"preproc_end_s", "preproc_cost_ms", "slow", "resumed", "batch_seq", "trained_s", "gpu"}
+	rows := make([][]string, 0, len(r.Trace))
+	for _, tr := range r.Trace {
+		rows = append(rows, []string{
+			fmt.Sprint(tr.Index), fmt.Sprint(tr.Epoch), fmt.Sprint(tr.RawBytes),
+			fmt.Sprintf("%.3f", tr.LoadedAt.Seconds()),
+			fmt.Sprintf("%.3f", tr.PreprocStart.Seconds()),
+			fmt.Sprintf("%.3f", tr.PreprocEnd.Seconds()),
+			fmt.Sprintf("%.1f", float64(tr.PreprocCost)/float64(time.Millisecond)),
+			fmt.Sprint(tr.MarkedSlow), fmt.Sprint(tr.TimesResumed),
+			fmt.Sprint(tr.BatchSeq),
+			fmt.Sprintf("%.3f", tr.TrainedAt.Seconds()),
+			fmt.Sprint(tr.GPU),
+		})
+	}
+	return report.WriteCSV(dir, name, header, rows)
+}
+
+// Throughput returns average trained MB/s over the run.
+func (r *Report) Throughput() float64 {
+	sec := r.TrainTime.Seconds()
+	if sec <= 0 {
+		return 0
+	}
+	return float64(r.TrainedBytes) / 1e6 / sec
+}
+
+// AvgSlowProportion returns the mean per-batch slow-sample proportion.
+func (r *Report) AvgSlowProportion() float64 {
+	if len(r.SlowPropByIt) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range r.SlowPropByIt {
+		sum += v
+	}
+	return sum / float64(len(r.SlowPropByIt))
+}
+
+// Run executes one training session on an existing testbed. It must be
+// called from a task tracked by the runtime (e.g. inside Virtual.Run).
+func Run(rt simtime.Runtime, tb *hardware.Testbed, w workload.Workload, f Factory, p Params) (*Report, error) {
+	p.fillDefaults()
+	ctx := context.Background()
+
+	wg := simtime.NewWaitGroup(rt)
+	env := &loader.Env{RT: rt, CPU: tb.CPU, GPUs: tb.GPUs, Store: tb.Store, WG: wg}
+	spec := w.Spec()
+	ld := f.New(env, spec)
+
+	rep := &Report{
+		Workload: w.Name,
+		Loader:   ld.Name(),
+		GPUs:     len(tb.GPUs),
+	}
+
+	var trainedBytes atomic.Int64
+	collector := metrics.NewCollector(rt, p.MetricsInterval)
+	if p.Collect {
+		cpuGauge := tb.CPU.UtilizationGauge()
+		collector.Register("cpu", func() float64 { return 100 * cpuGauge() })
+		gpuGauges := make([]func() float64, len(tb.GPUs))
+		for i, g := range tb.GPUs {
+			gpuGauges[i] = g.UtilizationGauge(rt)
+		}
+		collector.Register("gpu", func() float64 {
+			sum := 0.0
+			for _, g := range gpuGauges {
+				sum += g()
+			}
+			return 100 * sum / float64(len(gpuGauges))
+		})
+		collector.Register("disk", tb.Disk.ReadRateGauge(rt))
+		collector.Register("throughput", metrics.CounterRateGauge(rt, func() float64 {
+			return float64(trainedBytes.Load())
+		}))
+		if ins, ok := ld.(loader.Instrumented); ok {
+			ins.RegisterMetrics(collector)
+		}
+		collector.Start(wg)
+	}
+
+	var comp *composition
+	if p.TrackComposition {
+		comp = newComposition(w, p.SlowThresholdPercentile, spec.BatchSize)
+		rep.SlowThreshold = comp.threshold
+	}
+
+	startBusyCPU := tb.CPU.BusySeconds()
+	startBusyGPU := 0.0
+	for _, g := range tb.GPUs {
+		startBusyGPU += g.BusySeconds()
+	}
+	start := rt.Now()
+
+	if err := ld.Start(ctx); err != nil {
+		return nil, err
+	}
+
+	// Per-GPU consumers.
+	consumers := simtime.NewWaitGroup(rt)
+	var consumerErr atomic.Value
+	var globalIters atomic.Int64
+	var lastEnd atomic.Int64
+	var traceMu sync.Mutex
+	perGPUEpoch := spec.BatchesPerEpoch() / len(tb.GPUs)
+	for g := range tb.GPUs {
+		g := g
+		consumers.Go("gpu-consumer", func() {
+			dev := tb.GPUs[g]
+			sinceValidation := 0
+			for {
+				b, err := ld.Next(ctx, g)
+				if errors.Is(err, io.EOF) {
+					return
+				}
+				if err != nil {
+					consumerErr.Store(err)
+					return
+				}
+				if !b.Resident {
+					// Synchronous H2D copy (no prefetch overlap).
+					copyTime := time.Duration(float64(b.Bytes()) / p.CopyBandwidth * float64(time.Second))
+					if err := rt.Sleep(ctx, copyTime); err != nil {
+						return
+					}
+				}
+				if err := dev.Train(ctx, w.GPUStep); err != nil {
+					return
+				}
+				it := globalIters.Add(1)
+				atomic.AddInt64(&rep.Batches, 1)
+				atomic.AddInt64(&rep.Samples, int64(len(b.Samples)))
+				trainedBytes.Add(b.Bytes())
+				storeMax(&lastEnd, int64(rt.Now()))
+
+				if comp != nil {
+					comp.record(b)
+				}
+				if it%int64(p.AccuracyEvery) == 0 {
+					comp.maybeAcc(rep, w, it, rt.Now()-start)
+				}
+				if p.TraceSamples {
+					now := rt.Now()
+					traceMu.Lock()
+					for _, s := range b.Samples {
+						rep.Trace = append(rep.Trace, SampleTrace{
+							Index: s.Index, Epoch: s.Epoch, RawBytes: s.RawBytes,
+							LoadedAt: s.LoadedAt, PreprocStart: s.PreprocStart,
+							PreprocEnd: s.PreprocEnd, PreprocCost: s.PreprocCost,
+							MarkedSlow: s.MarkedSlow, TimesResumed: s.TimesResumed,
+							BatchSeq: b.Seq, TrainedAt: now, GPU: g,
+						})
+					}
+					traceMu.Unlock()
+				}
+
+				// Epoch-end validation (img-seg): extra GPU work while
+				// loading pauses — the periodic dips of Fig 10.
+				if w.ValidationTime > 0 && perGPUEpoch > 0 {
+					sinceValidation++
+					if sinceValidation >= perGPUEpoch {
+						sinceValidation = 0
+						if err := dev.Train(ctx, w.ValidationTime); err != nil {
+							return
+						}
+					}
+				}
+			}
+		})
+	}
+
+	if err := consumers.Wait(ctx); err != nil {
+		return nil, err
+	}
+	end := time.Duration(lastEnd.Load())
+	if end < start {
+		end = rt.Now()
+	}
+	rep.TrainTime = end - start
+	rep.TrainedBytes = trainedBytes.Load()
+
+	collector.Stop()
+	ld.Stop()
+	if err := wg.Wait(ctx); err != nil {
+		return nil, err
+	}
+	if e := consumerErr.Load(); e != nil {
+		return nil, e.(error)
+	}
+
+	// Whole-run utilization from device busy accounting.
+	dur := rep.TrainTime.Seconds()
+	if dur > 0 {
+		rep.AvgCPUUtil = 100 * (tb.CPU.BusySeconds() - startBusyCPU) / (tb.CPU.Capacity() * dur)
+		busyGPU := 0.0
+		for _, g := range tb.GPUs {
+			busyGPU += g.BusySeconds()
+		}
+		rep.AvgGPUUtil = 100 * (busyGPU - startBusyGPU) / (float64(len(tb.GPUs)) * dur)
+		if rep.AvgGPUUtil > 100 {
+			rep.AvgGPUUtil = 100
+		}
+		if rep.AvgCPUUtil > 100 {
+			rep.AvgCPUUtil = 100
+		}
+	}
+
+	if p.Collect {
+		rep.Series = make(map[string]*stats.TimeSeries)
+		for _, name := range collector.Names() {
+			rep.Series[name] = collector.Series(name)
+		}
+	}
+	if comp != nil {
+		rep.SlowHist = comp.hist
+		rep.SlowPropByIt = comp.props
+	}
+	rep.CacheStats = tb.Cache.Stats()
+	rep.DiskBytes = tb.Disk.BytesRead()
+	return rep, nil
+}
+
+// Simulate runs a session on a fresh virtual-time kernel and testbed —
+// the entry point experiments and benchmarks use.
+func Simulate(cfg hardware.Config, w workload.Workload, f Factory, p Params) (*Report, error) {
+	k := simtime.NewVirtual()
+	var rep *Report
+	var err error
+	k.Run(func() {
+		tb := hardware.NewTestbed(k, cfg)
+		rep, err = Run(k, tb, w, f, p)
+	})
+	k.Drain()
+	return rep, err
+}
+
+// composition tracks Fig 11's batch statistics.
+type composition struct {
+	threshold time.Duration
+	mu        sync.Mutex
+	hist      []int64
+	props     []float64
+}
+
+func newComposition(w workload.Workload, pct float64, batchSize int) *composition {
+	return &composition{
+		threshold: w.SlowThreshold(pct),
+		hist:      make([]int64, batchSize+1),
+	}
+}
+
+func (c *composition) record(b *data.Batch) {
+	slow := 0
+	for _, s := range b.Samples {
+		if s.PreprocCost > c.threshold {
+			slow++
+		}
+	}
+	c.mu.Lock()
+	if slow < len(c.hist) {
+		c.hist[slow]++
+	}
+	c.props = append(c.props, float64(slow)/float64(len(b.Samples)))
+	c.mu.Unlock()
+}
+
+// maybeAcc appends an accuracy point; safe on a nil receiver so call sites
+// stay unconditional.
+func (c *composition) maybeAcc(rep *Report, w workload.Workload, iter int64, elapsed time.Duration) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	rep.AccCurve = append(rep.AccCurve, AccPoint{Iter: iter, Elapsed: elapsed, Accuracy: w.Accuracy(iter)})
+	c.mu.Unlock()
+}
+
+func storeMax(dst *atomic.Int64, v int64) {
+	for {
+		cur := dst.Load()
+		if v <= cur || dst.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}

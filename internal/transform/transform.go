@@ -1,0 +1,208 @@
+// Package transform implements the preprocessing pipelines of the paper's
+// Table 1 as cost-model transforms, and the Pipeline execution engine with
+// the budget/resume semantics of Algorithm 1.
+//
+// A Transform declares, for a sample in its current state, how much
+// full-speed compute it needs (Cost) and how it changes the sample's size
+// (SizeFactor). Executing a transform occupies an Executor (a CPU pool or a
+// GPU) for the cost duration under that device's contention model. The
+// pipeline can run with a budget: if a transform would exceed the remaining
+// budget, the worker consumes exactly the remaining budget (the partially
+// applied transform of Algorithm 1) and returns with the sample's
+// NextTransform pointing at the interrupted transform, which a background
+// worker later re-executes in full.
+package transform
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"github.com/minatoloader/minato/internal/data"
+)
+
+// Executor is where transform compute runs. *device.Device implements it.
+type Executor interface {
+	Run(ctx context.Context, work time.Duration) error
+}
+
+// Transform is one preprocessing step.
+type Transform interface {
+	// Name identifies the transform (Table 1 names).
+	Name() string
+	// Cost returns the full-speed compute this transform needs for s in its
+	// current state. It must be deterministic in s.
+	Cost(s *data.Sample) time.Duration
+	// SizeFactor returns the multiplicative effect on s.Bytes.
+	SizeFactor(s *data.Sample) float64
+	// Barrier reports whether reordering may cross this transform
+	// (Pecan §2.1: sections are delimited by barrier transforms).
+	Barrier() bool
+}
+
+// ErrInterrupted is returned by ApplyBudget when the budget expired
+// mid-transform; the sample's NextTransform records the resume point.
+var ErrInterrupted = errors.New("transform: interrupted by budget")
+
+// Pipeline is an ordered list of transforms.
+type Pipeline struct {
+	name string
+	ts   []Transform
+}
+
+// NewPipeline returns a pipeline with the given transforms.
+func NewPipeline(name string, ts ...Transform) *Pipeline {
+	return &Pipeline{name: name, ts: ts}
+}
+
+// Name returns the pipeline name.
+func (p *Pipeline) Name() string { return p.name }
+
+// Transforms returns the transform list (not a copy; do not mutate).
+func (p *Pipeline) Transforms() []Transform { return p.ts }
+
+// Len returns the number of transforms.
+func (p *Pipeline) Len() int { return len(p.ts) }
+
+// TotalCost returns the full pipeline compute cost for a fresh sample,
+// simulating the size changes along the way, without executing anything.
+// Used by profilers and tests.
+func (p *Pipeline) TotalCost(s *data.Sample) time.Duration {
+	c := s.Clone()
+	var total time.Duration
+	for _, t := range p.ts {
+		total += t.Cost(c)
+		c.Bytes = int64(float64(c.Bytes) * t.SizeFactor(c))
+	}
+	return total
+}
+
+// Apply runs every remaining transform of s (from s.NextTransform) to
+// completion on exec.
+func (p *Pipeline) Apply(ctx context.Context, exec Executor, s *data.Sample) error {
+	_, err := p.run(ctx, exec, s, -1)
+	return err
+}
+
+// ApplyBudget runs remaining transforms with a compute budget. If the
+// pipeline completes within the budget it returns nil. If a transform would
+// exceed the remaining budget, the executor is occupied for exactly the
+// remaining budget (the partial application) and ErrInterrupted is
+// returned; s.NextTransform then indexes the transform to re-execute.
+func (p *Pipeline) ApplyBudget(ctx context.Context, exec Executor, s *data.Sample, budget time.Duration) error {
+	_, err := p.run(ctx, exec, s, budget)
+	return err
+}
+
+func (p *Pipeline) run(ctx context.Context, exec Executor, s *data.Sample, budget time.Duration) (time.Duration, error) {
+	var spent time.Duration
+	for i := s.NextTransform; i < len(p.ts); i++ {
+		t := p.ts[i]
+		c := t.Cost(s)
+		if budget >= 0 && spent+c > budget {
+			// Partially apply: consume the remaining budget, then park the
+			// sample for background completion. The interrupted transform
+			// will be re-executed in full (Algorithm 1, lines 11 & 16-17).
+			partial := budget - spent
+			if partial > 0 {
+				if err := exec.Run(ctx, partial); err != nil {
+					return spent, err
+				}
+				s.PreprocCost += partial
+			}
+			s.NextTransform = i
+			return spent + partial, ErrInterrupted
+		}
+		if c > 0 {
+			if err := exec.Run(ctx, c); err != nil {
+				return spent, err
+			}
+		}
+		spent += c
+		s.PreprocCost += c
+		s.Bytes = int64(float64(s.Bytes) * t.SizeFactor(s))
+		s.NextTransform = i + 1
+	}
+	return spent, nil
+}
+
+// Reordered returns a new pipeline with the given transform order. The
+// transforms must be a permutation of the pipeline's own.
+func (p *Pipeline) Reordered(ts []Transform) *Pipeline {
+	return &Pipeline{name: p.name + "+reordered", ts: ts}
+}
+
+// Classification of a transform's effect on data volume (Pecan §2.1).
+type Classification int
+
+const (
+	// Deflationary transforms reduce data volume (sampling, cropping).
+	Deflationary Classification = iota
+	// Neutral transforms keep the volume unchanged.
+	Neutral
+	// Inflationary transforms increase data volume (padding, one-hot).
+	Inflationary
+)
+
+// Classify categorizes a transform for a sample in a given state.
+func Classify(t Transform, s *data.Sample) Classification {
+	f := t.SizeFactor(s)
+	switch {
+	case f < 0.999:
+		return Deflationary
+	case f > 1.001:
+		return Inflationary
+	default:
+		return Neutral
+	}
+}
+
+// AutoOrder implements Pecan's AutoOrder policy: within each section
+// delimited by barrier transforms, deflationary transforms move earlier and
+// inflationary transforms move later, preserving relative order within each
+// class. Classification is per-sample, using the sample's raw state (the
+// paper classifies Resize dynamically by whether it inflates the input).
+func AutoOrder(ts []Transform, s *data.Sample) []Transform {
+	out := make([]Transform, 0, len(ts))
+	section := make([]Transform, 0, len(ts))
+	flush := func() {
+		var defl, neut, infl []Transform
+		for _, t := range section {
+			switch Classify(t, s) {
+			case Deflationary:
+				defl = append(defl, t)
+			case Inflationary:
+				infl = append(infl, t)
+			default:
+				neut = append(neut, t)
+			}
+		}
+		out = append(out, defl...)
+		out = append(out, neut...)
+		out = append(out, infl...)
+		section = section[:0]
+	}
+	for _, t := range ts {
+		if t.Barrier() {
+			flush()
+			out = append(out, t)
+			continue
+		}
+		section = append(section, t)
+	}
+	flush()
+	return out
+}
+
+// ScaledExecutor wraps an executor, dividing all work by Speedup. It models
+// DALI's GPU-accelerated transforms, which the paper measured to be 10×
+// faster than their CPU counterparts (§5.1).
+type ScaledExecutor struct {
+	Exec    Executor
+	Speedup float64
+}
+
+// Run implements Executor.
+func (e ScaledExecutor) Run(ctx context.Context, work time.Duration) error {
+	return e.Exec.Run(ctx, time.Duration(float64(work)/e.Speedup))
+}

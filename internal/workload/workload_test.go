@@ -1,0 +1,114 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTable3Configs(t *testing.T) {
+	ws := All(1)
+	if len(ws) != 4 {
+		t.Fatalf("workloads = %d", len(ws))
+	}
+	img, obj, s3, s10 := ws[0], ws[1], ws[2], ws[3]
+	if img.BatchSize != 3 || img.Epochs != 50 {
+		t.Errorf("img-seg config = %+v, want batch 3, 50 epochs", img)
+	}
+	if obj.BatchSize != 48 || obj.Iterations != 1000 {
+		t.Errorf("obj-det config wrong: %+v", obj)
+	}
+	if s3.BatchSize != 24 || s3.Iterations != 1000 || s10.BatchSize != 24 {
+		t.Errorf("speech configs wrong")
+	}
+	if s3.Name != "speech-3s" || s10.Name != "speech-10s" {
+		t.Errorf("names: %s, %s", s3.Name, s10.Name)
+	}
+}
+
+func TestSpecBudgets(t *testing.T) {
+	img := ImageSegmentation(1)
+	spec := img.Spec()
+	if got := spec.BatchesPerEpoch(); got != 70 {
+		t.Errorf("img-seg batches/epoch = %d, want 70 (210/3)", got)
+	}
+	if got := spec.TotalBatches(); got != 3500 {
+		t.Errorf("img-seg total = %d, want 3500", got)
+	}
+	obj := ObjectDetection(1).Spec()
+	if obj.TotalBatches() != 1000 || obj.TotalSamples() != 48000 {
+		t.Errorf("obj-det budget: %d/%d", obj.TotalBatches(), obj.TotalSamples())
+	}
+}
+
+func TestAccuracyCurveShape(t *testing.T) {
+	w := ObjectDetection(1)
+	a0 := w.Accuracy(0)
+	aMid := w.Accuracy(15000)
+	aEnd := w.Accuracy(45000)
+	if a0 > 0.01 {
+		t.Errorf("Accuracy(0) = %v", a0)
+	}
+	if aMid <= a0 || aEnd <= aMid {
+		t.Errorf("accuracy not increasing: %v %v %v", a0, aMid, aEnd)
+	}
+	// Converges near the final value (paper: ≈6% bbox_mAP at 45k iters).
+	if aEnd < 0.05 || aEnd > 0.07 {
+		t.Errorf("Accuracy(45000) = %v, want ≈0.06", aEnd)
+	}
+}
+
+func TestSlowThresholdSeparatesSpeechHeavies(t *testing.T) {
+	w := Speech(1, 3*time.Second)
+	th := w.SlowThreshold(0.75)
+	// 80% of samples cost ≈0.51s; heavy ones ≈3s. P75 sits in between.
+	if th < 480*time.Millisecond || th > 600*time.Millisecond {
+		t.Fatalf("threshold = %v, want ≈0.51s", th)
+	}
+}
+
+func TestSlowFractionVariant(t *testing.T) {
+	w := SpeechSlowFraction(1, 0.5)
+	heavy := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if w.Dataset.Sample(0, i).Features.Heavy {
+			heavy++
+		}
+	}
+	if f := float64(heavy) / n; f < 0.45 || f > 0.55 {
+		t.Fatalf("heavy fraction = %.2f, want ≈0.5", f)
+	}
+}
+
+func TestWithHelpers(t *testing.T) {
+	w := ImageSegmentation(1).WithEpochs(10)
+	if w.Epochs != 10 || w.Iterations != 0 {
+		t.Fatal("WithEpochs wrong")
+	}
+	w = w.WithIterations(77)
+	if w.Spec().TotalBatches() != 77 {
+		t.Fatal("WithIterations wrong")
+	}
+}
+
+func TestPairedModalities(t *testing.T) {
+	if !Speech(1, 3*time.Second).PairedModalities() {
+		t.Error("speech should be paired (audio-text)")
+	}
+	if ImageSegmentation(1).PairedModalities() {
+		t.Error("img-seg should not be paired")
+	}
+}
+
+func TestTable1Rows(t *testing.T) {
+	rows := ImageSegmentation(1).Table1Row()
+	want := []string{"RandomCrop", "RandomFlip", "RandomBrightness", "GaussianNoise", "Cast"}
+	if len(rows) != len(want) {
+		t.Fatalf("pipeline = %v", rows)
+	}
+	for i := range want {
+		if rows[i] != want[i] {
+			t.Fatalf("pipeline = %v, want %v", rows, want)
+		}
+	}
+}

@@ -1,0 +1,217 @@
+// Package minato is the public API of MinatoLoader-Go, a reproduction of
+// "MinatoLoader: Accelerating Machine Learning Training Through Efficient
+// Data Preprocessing" (EUROSYS '26).
+//
+// MinatoLoader is a data loader that eliminates head-of-line blocking in
+// training input pipelines: a per-sample timeout classifies samples as fast
+// or slow on the fly, batches are built from whichever samples are ready,
+// and slow samples finish preprocessing in the background and join later
+// batches. An adaptive scheduler grows and shrinks the preprocessing worker
+// pool to track GPU demand.
+//
+// The package re-exports the building blocks from internal packages:
+//
+//   - the loader itself (New, Config) plus the paper's baselines
+//     (PyTorchLoader, DALILoader, PecanLoader) for comparison;
+//   - the simulated substrate it runs on (runtimes, testbeds, devices),
+//     since Go has no CUDA/PyTorch stack — see DESIGN.md for the
+//     substitution table;
+//   - the paper's workloads, the trainer, and the experiment registry that
+//     regenerates every table and figure of the evaluation.
+//
+// A minimal session:
+//
+//	cfg := minato.ConfigA()                       // 4×A100 testbed
+//	w := minato.SpeechWorkload(1, 3*time.Second)  // Speech-3s
+//	rep, err := minato.Simulate(cfg, w, minato.MinatoFactory(), minato.Params{})
+//	// rep.TrainTime, rep.AvgGPUUtil, ...
+//
+// For embedding the loader directly (custom datasets and pipelines), see
+// examples/quickstart.
+package minato
+
+import (
+	"time"
+
+	"github.com/minatoloader/minato/internal/core"
+	"github.com/minatoloader/minato/internal/data"
+	"github.com/minatoloader/minato/internal/dataset"
+	"github.com/minatoloader/minato/internal/device"
+	"github.com/minatoloader/minato/internal/gpu"
+	"github.com/minatoloader/minato/internal/hardware"
+	"github.com/minatoloader/minato/internal/loader"
+	"github.com/minatoloader/minato/internal/loaders"
+	"github.com/minatoloader/minato/internal/simtime"
+	"github.com/minatoloader/minato/internal/storage"
+	"github.com/minatoloader/minato/internal/trainer"
+	"github.com/minatoloader/minato/internal/transform"
+	"github.com/minatoloader/minato/internal/workload"
+)
+
+// Core vocabulary types.
+type (
+	// Sample is one training example flowing through a pipeline.
+	Sample = data.Sample
+	// Features are the hidden cost-model inputs of a synthetic sample.
+	Features = data.Features
+	// Batch is a set of preprocessed samples ready for training.
+	Batch = data.Batch
+	// Transform is one preprocessing step.
+	Transform = transform.Transform
+	// Pipeline is an ordered list of transforms with budget semantics.
+	Pipeline = transform.Pipeline
+	// Dataset enumerates samples.
+	Dataset = dataset.Dataset
+	// Spec describes what a loader serves.
+	Spec = loader.Spec
+	// Env bundles the hardware a loader runs on.
+	Env = loader.Env
+	// DataLoader is the interface all loaders implement.
+	DataLoader = loader.Loader
+	// Config holds MinatoLoader's tuning knobs.
+	Config = core.Config
+	// Loader is MinatoLoader itself.
+	Loader = core.Loader
+	// Workload is one end-to-end training task.
+	Workload = workload.Workload
+	// Report is a training session's outcome.
+	Report = trainer.Report
+	// Params tunes what a session records.
+	Params = trainer.Params
+	// Factory builds loaders for training sessions.
+	Factory = trainer.Factory
+	// HardwareConfig describes a testbed.
+	HardwareConfig = hardware.Config
+	// Testbed is an instantiated simulated machine.
+	Testbed = hardware.Testbed
+	// Runtime is the virtual/real time abstraction.
+	Runtime = simtime.Runtime
+)
+
+// New returns a MinatoLoader over spec, running on env.
+func New(env *Env, spec Spec, cfg Config) *Loader { return core.New(env, spec, cfg) }
+
+// DefaultConfig returns the paper's MinatoLoader configuration (§5.1).
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// NewTransform builds a custom preprocessing step from a cost model and a
+// size effect (either may be nil).
+func NewTransform(name string, cost func(*Sample) time.Duration, size func(*Sample) float64) Transform {
+	return transform.NewTransform(name, cost, size)
+}
+
+// NewPipeline builds a preprocessing pipeline.
+func NewPipeline(name string, ts ...Transform) *Pipeline { return transform.NewPipeline(name, ts...) }
+
+// NewVirtualRuntime returns the deterministic discrete-event runtime used
+// by experiments: simulated time advances only when all tasks are parked.
+func NewVirtualRuntime() *simtime.Virtual { return simtime.NewVirtual() }
+
+// NewRealRuntime returns a wall-clock runtime with the given time
+// compression (1 = real time).
+func NewRealRuntime(scale float64) *simtime.Real { return simtime.NewReal(scale) }
+
+// NewTestbed instantiates the devices for a hardware config.
+func NewTestbed(rt Runtime, cfg HardwareConfig) *Testbed { return hardware.NewTestbed(rt, cfg) }
+
+// ConfigA is the paper's 128-core, 4×A100 server (§3).
+func ConfigA() HardwareConfig { return hardware.ConfigA() }
+
+// ConfigB is the paper's 80-core, 8×V100 server (§3).
+func ConfigB() HardwareConfig { return hardware.ConfigB() }
+
+// Simulate runs one training session on a fresh virtual-time kernel.
+func Simulate(cfg HardwareConfig, w Workload, f Factory, p Params) (*Report, error) {
+	return trainer.Simulate(cfg, w, f, p)
+}
+
+// The paper's workloads (§2.2, Table 3).
+
+// ImageSegmentationWorkload is KiTS19 → 3D-UNet.
+func ImageSegmentationWorkload(seed uint64) Workload { return workload.ImageSegmentation(seed) }
+
+// ObjectDetectionWorkload is COCO → Mask R-CNN.
+func ObjectDetectionWorkload(seed uint64) Workload { return workload.ObjectDetection(seed) }
+
+// SpeechWorkload is LibriSpeech → RNN-T with the given HeavyStep duration
+// (3s or 10s).
+func SpeechWorkload(seed uint64, heavy time.Duration) Workload { return workload.Speech(seed, heavy) }
+
+// Loader factories for training sessions.
+
+// MinatoFactory builds MinatoLoader with the paper's defaults.
+func MinatoFactory() Factory { return loaders.Minato(core.DefaultConfig()) }
+
+// MinatoFactoryWith builds MinatoLoader with a custom config.
+func MinatoFactoryWith(cfg Config) Factory { return loaders.Minato(cfg) }
+
+// BaselineFactory returns a baseline loader factory by name: "pytorch",
+// "pecan", or "dali".
+func BaselineFactory(name string) (Factory, bool) { return loaders.ByName(name) }
+
+// AllFactories returns the paper's four systems in comparison order.
+func AllFactories() []Factory { return loaders.Defaults() }
+
+// Synthetic datasets (§2.2).
+
+// KiTS19 returns the synthetic kidney-tumor CT dataset (≈29 GB).
+func KiTS19(seed uint64) Dataset { return dataset.NewKiTS19(seed) }
+
+// COCO returns the synthetic COCO 2017 train split (≈58 GB).
+func COCO(seed uint64) Dataset { return dataset.NewCOCO(seed) }
+
+// LibriSpeech returns the synthetic LibriSpeech corpus with every n-th
+// sample heavy.
+func LibriSpeech(seed uint64, heavyEvery int) Dataset {
+	return dataset.NewLibriSpeech(seed, heavyEvery)
+}
+
+// SubsetDataset restricts a dataset to its first n samples.
+func SubsetDataset(d Dataset, n int) Dataset { return dataset.Subset(d, n) }
+
+// ReplicateDataset enlarges a dataset by a factor with distinct storage
+// keys (§5.5's 230 GB variant).
+func ReplicateDataset(d Dataset, factor int) Dataset { return dataset.Replicate(d, factor) }
+
+// ShardDataset returns the i-th of n strided shards (distributed data
+// parallelism, §6).
+func ShardDataset(d Dataset, i, n int) Dataset { return dataset.Shard(d, i, n) }
+
+// EnvConfig sizes a custom loader environment for library embedders who
+// are not using one of the paper's testbeds.
+type EnvConfig struct {
+	// Cores is the CPU pool size (default 8).
+	Cores int
+	// GPUs is the number of training consumers (default 1).
+	GPUs int
+	// DiskBandwidth is storage throughput in bytes/s (default 2 GB/s).
+	DiskBandwidth float64
+	// CacheBytes is the page-cache capacity (default 8 GiB).
+	CacheBytes int64
+}
+
+// NewEnv builds a loader environment on rt with the given sizing. The
+// returned Env is ready for New; the caller drives consumption via
+// Loader.Next and waits on Env.WG for shutdown.
+func NewEnv(rt Runtime, cfg EnvConfig) *Env {
+	if cfg.Cores <= 0 {
+		cfg.Cores = 8
+	}
+	if cfg.GPUs <= 0 {
+		cfg.GPUs = 1
+	}
+	if cfg.DiskBandwidth <= 0 {
+		cfg.DiskBandwidth = 2e9
+	}
+	if cfg.CacheBytes <= 0 {
+		cfg.CacheBytes = 8 << 30
+	}
+	disk := storage.NewDisk(rt, "disk", cfg.DiskBandwidth, 2)
+	return &Env{
+		RT:    rt,
+		CPU:   device.New(rt, "cpu", float64(cfg.Cores)),
+		GPUs:  gpu.Pool(rt, cfg.GPUs, gpu.A100, 40<<30),
+		Store: &storage.Store{Disk: disk, Cache: storage.NewPageCache(cfg.CacheBytes)},
+		WG:    simtime.NewWaitGroup(rt),
+	}
+}

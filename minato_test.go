@@ -1,0 +1,116 @@
+package minato
+
+import (
+	"context"
+	"io"
+	"testing"
+	"time"
+)
+
+// TestPublicAPISession exercises the whole facade: simulate the paper's
+// headline comparison at small scale through only exported identifiers.
+func TestPublicAPISession(t *testing.T) {
+	cfg := ConfigA().WithGPUs(2)
+	w := SpeechWorkload(1, 3*time.Second).WithIterations(40)
+
+	pt, ok := BaselineFactory("pytorch")
+	if !ok {
+		t.Fatal("pytorch baseline missing")
+	}
+	ptRep, err := Simulate(cfg, w, pt, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mnRep, err := Simulate(cfg, w, MinatoFactory(), Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mnRep.TrainTime >= ptRep.TrainTime {
+		t.Fatalf("minato (%v) not faster than pytorch (%v)", mnRep.TrainTime, ptRep.TrainTime)
+	}
+	if mnRep.Batches != 40 || ptRep.Batches != 40 {
+		t.Fatalf("batch budgets: %d/%d", mnRep.Batches, ptRep.Batches)
+	}
+}
+
+// TestPublicAPICustomLoader embeds the loader around a user-defined
+// dataset and pipeline, as a downstream application would.
+func TestPublicAPICustomLoader(t *testing.T) {
+	rt := NewVirtualRuntime()
+	rt.Run(func() {
+		env := NewEnv(rt, EnvConfig{Cores: 4, CacheBytes: 4 << 30})
+		pipeline := NewPipeline("custom",
+			NewTransform("step", func(*Sample) time.Duration { return 5 * time.Millisecond }, nil))
+		ld := New(env, Spec{
+			Dataset:    SubsetDataset(COCO(1), 64),
+			Pipeline:   pipeline,
+			BatchSize:  4,
+			Iterations: 8,
+			Seed:       3,
+		}, DefaultConfig())
+		if err := ld.Start(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for {
+			b, err := ld.Next(context.Background(), 0)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if b.Size() != 4 {
+				t.Fatalf("batch size %d", b.Size())
+			}
+			n++
+		}
+		if n != 8 {
+			t.Fatalf("delivered %d batches, want 8", n)
+		}
+		ld.Stop()
+		_ = env.WG.Wait(context.Background())
+	})
+}
+
+func TestDatasetHelpers(t *testing.T) {
+	d := KiTS19(1)
+	if d.Len() != 210 {
+		t.Fatalf("KiTS19 len = %d", d.Len())
+	}
+	if got := SubsetDataset(d, 10).Len(); got != 10 {
+		t.Fatalf("subset len = %d", got)
+	}
+	if got := ReplicateDataset(d, 3).Len(); got != 630 {
+		t.Fatalf("replicate len = %d", got)
+	}
+	if LibriSpeech(1, 5).Len() == 0 || COCO(1).Len() == 0 {
+		t.Fatal("dataset constructors broken")
+	}
+}
+
+func TestNewEnvDefaults(t *testing.T) {
+	rt := NewVirtualRuntime()
+	env := NewEnv(rt, EnvConfig{})
+	if env.CPU.Capacity() != 8 {
+		t.Fatalf("default cores = %v", env.CPU.Capacity())
+	}
+	if len(env.GPUs) != 1 {
+		t.Fatalf("default GPUs = %d", len(env.GPUs))
+	}
+	if env.Store == nil || env.WG == nil {
+		t.Fatal("env not fully wired")
+	}
+}
+
+func TestAllFactoriesNamed(t *testing.T) {
+	names := map[string]bool{}
+	for _, f := range AllFactories() {
+		names[f.Name] = true
+	}
+	for _, want := range []string{"pytorch", "pecan", "dali", "minato"} {
+		if !names[want] {
+			t.Fatalf("missing factory %q", want)
+		}
+	}
+}
