@@ -1,4 +1,5 @@
-// Command minato-bench regenerates the paper's tables and figures.
+// Command minato-bench regenerates the paper's tables and figures, and
+// runs one-off loader × workload sessions through the public registry.
 //
 // Usage:
 //
@@ -7,9 +8,14 @@
 //	minato-bench -exp e1 -out results   # also write CSVs for plotting
 //	minato-bench -list                  # list experiment IDs
 //
+//	minato-bench -loader minato -workload speech-3s        # one session
+//	minato-bench -loader pytorch -workload img-seg -quick  # shortened
+//
 // Experiment IDs follow the paper: table1..table3, fig1b..fig12, e1 (the
-// artifact appendix run), and abl-* design ablations. See DESIGN.md for the
-// full index.
+// artifact appendix run), and abl-* design ablations. Loader and workload
+// names resolve through the public registries (minato.RegisterLoader /
+// minato.RegisterWorkload), so downstream backends benchmark without
+// editing this command. See DESIGN.md for the full index.
 package main
 
 import (
@@ -19,26 +25,39 @@ import (
 	"strings"
 	"time"
 
+	"github.com/minatoloader/minato"
 	"github.com/minatoloader/minato/internal/experiments"
 )
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "experiment ID, comma list, or 'all'")
-		out   = flag.String("out", "", "directory for CSV output (optional)")
-		seed  = flag.Uint64("seed", 1, "random seed")
-		quick = flag.Bool("quick", false, "shrink run lengths (CI mode)")
-		list  = flag.Bool("list", false, "list experiment IDs and exit")
+		exp      = flag.String("exp", "", "experiment ID, comma list, or 'all'")
+		loader   = flag.String("loader", "", "run one session with this registered loader")
+		workload = flag.String("workload", "", "run one session with this registered workload")
+		out      = flag.String("out", "", "directory for CSV output (optional)")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		quick    = flag.Bool("quick", false, "shrink run lengths (CI mode)")
+		list     = flag.Bool("list", false, "list experiment IDs and registered names, then exit")
 	)
 	flag.Parse()
+
+	if (*loader != "" || *workload != "") && !*list {
+		if *exp != "" {
+			fmt.Fprintln(os.Stderr, "-exp and -loader/-workload are mutually exclusive")
+			os.Exit(2)
+		}
+		os.Exit(runSession(*loader, *workload, *seed, *quick))
+	}
 
 	if *list || *exp == "" {
 		fmt.Println("available experiments:")
 		for _, r := range experiments.All() {
 			fmt.Printf("  %-12s %s\n", r.ID, r.Title)
 		}
+		fmt.Println("\nregistered workloads:", strings.Join(minato.Workloads(), " "))
+		fmt.Println("registered loaders:  ", strings.Join(minato.Loaders(), " "))
 		if *exp == "" {
-			fmt.Println("\nrun with -exp <id>[,<id>...] or -exp all")
+			fmt.Println("\nrun with -exp <id>[,<id>...], -exp all, or -loader X -workload Y")
 		}
 		return
 	}
@@ -75,4 +94,33 @@ func main() {
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// runSession benchmarks a single loader × workload pair via the v2 API,
+// resolving both names through the registry.
+func runSession(loader, workload string, seed uint64, quick bool) int {
+	if loader == "" {
+		loader = "minato"
+	}
+	if workload == "" {
+		workload = "speech-3s"
+	}
+	opts := []minato.Option{
+		minato.WithLoader(loader),
+		minato.WithSeed(seed),
+		minato.WithParams(minato.Params{Collect: true}),
+	}
+	if quick {
+		opts = append(opts, minato.WithIterations(100))
+	}
+	start := time.Now()
+	rep, err := minato.Train(workload, opts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Printf("%s × %s on %d GPUs: train %.1fs, %.1f MB/s, GPU %.1f%%, CPU %.1f%% (%s wall)\n",
+		rep.Workload, rep.Loader, rep.GPUs, rep.TrainTime.Seconds(), rep.Throughput(),
+		rep.AvgGPUUtil, rep.AvgCPUUtil, time.Since(start).Round(time.Millisecond))
+	return 0
 }

@@ -10,15 +10,16 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
+	"github.com/minatoloader/minato"
 	"github.com/minatoloader/minato/internal/stats"
-	"github.com/minatoloader/minato/internal/workload"
 )
 
 func main() {
 	var (
-		wl     = flag.String("workload", "img-seg", "img-seg | obj-det | speech-3s | speech-10s")
+		wl     = flag.String("workload", "img-seg", "registered workload name")
 		n      = flag.Int("n", 1000, "samples to profile")
 		seed   = flag.Uint64("seed", 1, "random seed")
 		perTr  = flag.Bool("per-transform", false, "break cost down by transform")
@@ -26,18 +27,9 @@ func main() {
 	)
 	flag.Parse()
 
-	var w workload.Workload
-	switch *wl {
-	case "img-seg":
-		w = workload.ImageSegmentation(*seed)
-	case "obj-det":
-		w = workload.ObjectDetection(*seed)
-	case "speech-3s":
-		w = workload.Speech(*seed, 3*time.Second)
-	case "speech-10s":
-		w = workload.Speech(*seed, 10*time.Second)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *wl)
+	w, ok := minato.WorkloadByName(*wl, *seed)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown workload %q (registered: %s)\n", *wl, strings.Join(minato.Workloads(), ", "))
 		os.Exit(2)
 	}
 

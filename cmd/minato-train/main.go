@@ -4,70 +4,72 @@
 //
 //	minato-train -workload speech-3s -loader minato -gpus 4
 //	minato-train -workload img-seg -loader pytorch -testbed B -epochs 10
+//
+// Workload and loader names resolve through the public registries, so
+// backends registered via minato.RegisterLoader / minato.RegisterWorkload
+// are immediately addressable here. Run with -list to enumerate them.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
-	"github.com/minatoloader/minato/internal/hardware"
-	"github.com/minatoloader/minato/internal/loaders"
-	"github.com/minatoloader/minato/internal/trainer"
-	"github.com/minatoloader/minato/internal/workload"
+	"github.com/minatoloader/minato"
 )
 
 func main() {
 	var (
-		wl      = flag.String("workload", "speech-3s", "img-seg | obj-det | speech-3s | speech-10s")
-		ld      = flag.String("loader", "minato", "pytorch | pecan | dali | minato")
+		wl      = flag.String("workload", "speech-3s", "registered workload (see -list)")
+		ld      = flag.String("loader", "minato", "registered loader (see -list)")
 		testbed = flag.String("testbed", "A", "A (4×A100) or B (8×V100)")
 		gpus    = flag.Int("gpus", 0, "override GPU count")
 		epochs  = flag.Int("epochs", 0, "override epoch budget")
 		iters   = flag.Int("iterations", 0, "override iteration budget")
 		seed    = flag.Uint64("seed", 1, "random seed")
 		trace   = flag.String("trace", "", "write per-sample trace CSV to this directory")
+		list    = flag.Bool("list", false, "list registered workloads and loaders, then exit")
 	)
 	flag.Parse()
 
-	var w workload.Workload
-	switch *wl {
-	case "img-seg":
-		w = workload.ImageSegmentation(*seed)
-	case "obj-det":
-		w = workload.ObjectDetection(*seed)
-	case "speech-3s":
-		w = workload.Speech(*seed, 3*time.Second)
-	case "speech-10s":
-		w = workload.Speech(*seed, 10*time.Second)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *wl)
-		os.Exit(2)
-	}
-	if *epochs > 0 {
-		w = w.WithEpochs(*epochs)
-	}
-	if *iters > 0 {
-		w = w.WithIterations(*iters)
+	if *list {
+		fmt.Println("workloads:", strings.Join(minato.Workloads(), " "))
+		fmt.Println("loaders:  ", strings.Join(minato.Loaders(), " "))
+		return
 	}
 
-	cfg := hardware.ConfigA()
+	w, ok := minato.WorkloadByName(*wl, *seed)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown workload %q (registered: %s)\n", *wl, strings.Join(minato.Workloads(), ", "))
+		os.Exit(2)
+	}
+
+	cfg := minato.ConfigA()
 	if *testbed == "B" || *testbed == "b" {
-		cfg = hardware.ConfigB()
+		cfg = minato.ConfigB()
+	}
+
+	opts := []minato.Option{
+		minato.WithLoader(*ld),
+		minato.WithHardware(cfg),
+		minato.WithSeed(*seed),
+		minato.WithParams(minato.Params{Collect: true, TraceSamples: *trace != ""}),
 	}
 	if *gpus > 0 {
+		opts = append(opts, minato.WithGPUs(*gpus))
 		cfg = cfg.WithGPUs(*gpus)
 	}
-
-	f, ok := loaders.ByName(*ld)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown loader %q\n", *ld)
-		os.Exit(2)
+	if *epochs > 0 {
+		opts = append(opts, minato.WithEpochs(*epochs))
+	}
+	if *iters > 0 {
+		opts = append(opts, minato.WithIterations(*iters))
 	}
 
 	start := time.Now()
-	rep, err := trainer.Simulate(cfg, w, f, trainer.Params{Collect: true, TraceSamples: *trace != ""})
+	rep, err := minato.Train(*wl, opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

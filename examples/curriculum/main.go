@@ -1,8 +1,8 @@
 // Curriculum learning (§6): some training regimes need samples in a strict
 // global order (easy examples before hard ones). MinatoLoader's
 // order-preserving mode guarantees sampler order at the cost of the
-// reordering advantage — this example measures that trade-off and verifies
-// the ordering guarantee.
+// reordering advantage — this example measures that trade-off with two v2
+// sessions and verifies the ordering guarantee.
 //
 //	go run ./examples/curriculum
 package main
@@ -10,7 +10,6 @@ package main
 import (
 	"context"
 	"fmt"
-	"io"
 	"log"
 	"time"
 
@@ -18,52 +17,50 @@ import (
 )
 
 func run(ordered bool) (elapsed, maxGap time.Duration, inOrder bool) {
-	rt := minato.NewVirtualRuntime()
+	cfg := minato.DefaultConfig()
+	cfg.OrderPreserving = ordered
+
+	sess, err := minato.Open(
+		minato.SubsetDataset(minato.LibriSpeech(1, 5), 2000),
+		minato.WithPipeline(speechPipeline()),
+		minato.WithBatchSize(8),
+		minato.WithIterations(60),
+		minato.WithSeed(7),
+		minato.WithEnv(minato.EnvConfig{Cores: 16, DiskBandwidth: 5e9, CacheBytes: 16 << 30}),
+		minato.WithLoaderConfig(cfg),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	inOrder = true
-	rt.Run(func() {
-		env := minato.NewEnv(rt, minato.EnvConfig{Cores: 16, DiskBandwidth: 5e9, CacheBytes: 16 << 30})
-		cfg := minato.DefaultConfig()
-		cfg.OrderPreserving = ordered
-		spec := minato.Spec{
-			Dataset:    minato.SubsetDataset(minato.LibriSpeech(1, 5), 2000),
-			Pipeline:   speechPipeline(),
-			BatchSize:  8,
-			Iterations: 60,
-			Seed:       7,
-		}
-		ld := minato.New(env, spec, cfg)
-		if err := ld.Start(context.Background()); err != nil {
+	var prev int64 = -1
+	var lastAt time.Duration
+	i := 0
+	for b, err := range sess.Batches(context.Background()) {
+		if err != nil {
 			log.Fatal(err)
 		}
-		var prev int64 = -1
-		var lastAt time.Duration
-		for i := 0; ; i++ {
-			b, err := ld.Next(context.Background(), 0)
-			if err == io.EOF {
-				break
-			}
-			if err != nil {
-				log.Fatal(err)
-			}
-			// Skip warmup batches when sizing stalls.
-			if i > 10 {
-				if g := b.CreatedAt - lastAt; g > maxGap {
-					maxGap = g
-				}
-			}
-			lastAt = b.CreatedAt
-			for _, s := range b.Samples {
-				if s.OriginalOrder != prev+1 {
-					inOrder = false
-				}
-				prev = s.OriginalOrder
+		// Skip warmup batches when sizing stalls.
+		if i > 10 {
+			if g := b.CreatedAt - lastAt; g > maxGap {
+				maxGap = g
 			}
 		}
-		elapsed = rt.Now()
-		ld.Stop()
-		_ = env.WG.Wait(context.Background())
-	})
-	return elapsed, maxGap, inOrder
+		lastAt = b.CreatedAt
+		for _, s := range b.Samples {
+			if s.OriginalOrder != prev+1 {
+				inOrder = false
+			}
+			prev = s.OriginalOrder
+		}
+		i++
+	}
+	rep, err := sess.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return rep.TrainTime, maxGap, inOrder
 }
 
 func speechPipeline() *minato.Pipeline {

@@ -1,6 +1,7 @@
 // Image segmentation end-to-end: the paper's 3D-UNet/KiTS19 workload on
-// the Config B testbed (8×V100), comparing all four data loaders — a
-// programmatic version of the artifact's run_all.sh (E1).
+// the Config B testbed (8×V100), comparing data loaders resolved through
+// the v2 registry — a programmatic version of the artifact's run_all.sh
+// (E1).
 //
 //	go run ./examples/imagesegmentation
 package main
@@ -8,38 +9,45 @@ package main
 import (
 	"fmt"
 	"log"
-)
 
-import "github.com/minatoloader/minato"
+	"github.com/minatoloader/minato"
+)
 
 func main() {
 	cfg := minato.ConfigB() // 8×V100, 7 GB/s NVMe
-	w := minato.ImageSegmentationWorkload(1).WithEpochs(10)
+	const epochs = 10
 
+	w, ok := minato.WorkloadByName("img-seg", 1)
+	if !ok {
+		log.Fatal("img-seg workload not registered")
+	}
 	fmt.Printf("3D-UNet on %d×%s, %d epochs of KiTS19 (%d volumes)\n\n",
-		cfg.GPUCount, cfg.GPUArch.Name, w.Epochs, w.Dataset.Len())
+		cfg.GPUCount, cfg.GPUArch.Name, epochs, w.Dataset.Len())
 	fmt.Println("loader    train(s)  tput(MB/s)  GPU%   CPU%")
 	fmt.Println("--------  --------  ----------  -----  -----")
 
-	var pytorchTime, minatoTime float64
-	for _, f := range minato.AllFactories() {
-		if f.Name == "pecan" {
-			continue // identical to PyTorch here: pipeline already ordered
-		}
-		rep, err := minato.Simulate(cfg, w, f, minato.Params{Collect: true})
+	times := map[string]float64{}
+	// Sweep the paper's comparison order; every name resolves through the
+	// loader registry, so a backend added via minato.RegisterLoader joins
+	// this comparison by appending its name here.
+	for _, name := range []string{"pytorch", "dali", "minato"} {
+		// pecan is skipped: identical to pytorch here (pipeline already
+		// ordered).
+		rep, err := minato.Train("img-seg",
+			minato.WithLoader(name),
+			minato.WithHardware(cfg),
+			minato.WithEpochs(epochs),
+			minato.WithSeed(1),
+			minato.WithParams(minato.Params{Collect: true}),
+		)
 		if err != nil {
-			log.Fatalf("%s: %v", f.Name, err)
+			log.Fatalf("%s: %v", name, err)
 		}
 		fmt.Printf("%-8s  %8.1f  %10.1f  %4.1f  %4.1f\n",
 			rep.Loader, rep.TrainTime.Seconds(), rep.Throughput(),
 			rep.AvgGPUUtil, rep.AvgCPUUtil)
-		switch rep.Loader {
-		case "pytorch":
-			pytorchTime = rep.TrainTime.Seconds()
-		case "minato":
-			minatoTime = rep.TrainTime.Seconds()
-		}
+		times[rep.Loader] = rep.TrainTime.Seconds()
 	}
-	fmt.Printf("\nMinatoLoader speedup over PyTorch DataLoader: %.2fx\n", pytorchTime/minatoTime)
+	fmt.Printf("\nMinatoLoader speedup over PyTorch DataLoader: %.2fx\n", times["pytorch"]/times["minato"])
 	fmt.Println("(the paper's artifact reports 210 s / 151 s / 81 s on real V100 hardware)")
 }

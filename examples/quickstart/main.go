@@ -1,5 +1,6 @@
 // Quickstart: embed MinatoLoader around a custom dataset and preprocessing
-// pipeline, and watch it classify slow samples on the fly.
+// pipeline with the v2 session API, and watch it classify slow samples on
+// the fly.
 //
 // The dataset here is deliberately adversarial: most samples preprocess in
 // ~20 ms, but every 8th takes ~800 ms. A conventional loader would stall
@@ -12,7 +13,6 @@ package main
 import (
 	"context"
 	"fmt"
-	"io"
 	"log"
 	"time"
 
@@ -35,10 +35,6 @@ func (toyDataset) Sample(epoch, i int) *minato.Sample {
 }
 
 func main() {
-	// The runtime: virtual time, so this demo is instant and exact. Swap
-	// in minato.NewRealRuntime(1) to run against the wall clock.
-	rt := minato.NewVirtualRuntime()
-
 	// A two-step pipeline: a fast decode plus an augmentation that is 40×
 	// slower on heavy samples.
 	decode := minato.NewTransform("Decode",
@@ -50,49 +46,53 @@ func main() {
 			}
 			return 10 * time.Millisecond
 		}, nil)
-	pipeline := minato.NewPipeline("toy", decode, augment)
 
-	rt.Run(func() {
-		env := minato.NewEnv(rt, minato.EnvConfig{Cores: 8})
+	// Shorten the profiler warmup so the timeout kicks in within this
+	// small run; everything else keeps the paper's defaults.
+	cfg := minato.DefaultConfig()
+	cfg.WarmupSamples = 24
 
-		cfg := minato.DefaultConfig()
-		cfg.WarmupSamples = 24
-		ld := minato.New(env, minato.Spec{
-			Dataset:    toyDataset{},
-			Pipeline:   pipeline,
-			BatchSize:  8,
-			Iterations: 32,
-			Seed:       42,
-		}, cfg)
+	// The session owns the runtime (deterministic virtual time, so this
+	// demo is instant and exact — pass minato.WithRuntime(
+	// minato.NewRealRuntime(1)) to run against the wall clock instead),
+	// the environment, and the loader.
+	sess, err := minato.Open(toyDataset{},
+		minato.WithPipeline(minato.NewPipeline("toy", decode, augment)),
+		minato.WithBatchSize(8),
+		minato.WithIterations(32),
+		minato.WithSeed(42),
+		minato.WithEnv(minato.EnvConfig{Cores: 8}),
+		minato.WithLoaderConfig(cfg),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ld := sess.Loader().(*minato.Loader) // for timeout diagnostics
 
-		if err := ld.Start(context.Background()); err != nil {
+	fmt.Println("batch  t(ms)   gap(ms)  slow-samples  timeout(ms)")
+	var last time.Duration
+	i := 0
+	for b, err := range sess.Batches(context.Background()) {
+		if err != nil {
 			log.Fatal(err)
 		}
-
-		fmt.Println("batch  t(ms)   gap(ms)  slow-samples  timeout(ms)")
-		var last time.Duration
-		for i := 0; ; i++ {
-			b, err := ld.Next(context.Background(), 0)
-			if err == io.EOF {
-				break
-			}
-			if err != nil {
-				log.Fatal(err)
-			}
-			gap := b.CreatedAt - last
-			last = b.CreatedAt
-			tout := "warmup"
-			if d := ld.Timeout(); d < time.Hour {
-				tout = fmt.Sprintf("%.0f", float64(d)/float64(time.Millisecond))
-			}
-			fmt.Printf("%5d  %6.0f  %7.0f  %12d  %s\n",
-				i, b.CreatedAt.Seconds()*1000, gap.Seconds()*1000, b.SlowCount(), tout)
+		gap := b.CreatedAt - last
+		last = b.CreatedAt
+		tout := "warmup"
+		if d := ld.Timeout(); d < time.Hour {
+			tout = fmt.Sprintf("%.0f", float64(d)/float64(time.Millisecond))
 		}
-		ld.Stop()
-		_ = env.WG.Wait(context.Background())
+		fmt.Printf("%5d  %6.0f  %7.0f  %12d  %s\n",
+			i, b.CreatedAt.Seconds()*1000, gap.Seconds()*1000, b.SlowCount(), tout)
+		i++
+	}
 
-		fmt.Printf("\nall 32 batches delivered in %.2fs of simulated time\n", rt.Now().Seconds())
-		fmt.Println("note how delivery gaps stay small after warmup: heavy samples")
-		fmt.Println("preprocess in the background instead of stalling batches.")
-	})
+	rep, err := sess.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nall %d batches delivered in %.2fs of simulated time\n",
+		rep.Batches, rep.TrainTime.Seconds())
+	fmt.Println("note how delivery gaps stay small after warmup: heavy samples")
+	fmt.Println("preprocess in the background instead of stalling batches.")
 }

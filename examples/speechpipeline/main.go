@@ -2,13 +2,16 @@
 // RNN-T workload (the paper's Fig 12 scenario) and watch MinatoLoader's
 // profiler pick timeouts and its scheduler resize the worker pool.
 //
+// The sweep workload is parameterized by slow fraction, so it is built
+// directly and run through minato.TrainWorkload; the baseline resolves by
+// name through the loader registry.
+//
 //	go run ./examples/speechpipeline
 package main
 
 import (
 	"fmt"
 	"log"
-	"time"
 
 	"github.com/minatoloader/minato"
 	"github.com/minatoloader/minato/internal/workload"
@@ -23,19 +26,24 @@ func main() {
 	fmt.Println("-----   ----------  ---------  -------  -----------  ------------")
 
 	for _, frac := range []float64{0, 0.25, 0.50, 0.75, 1.0} {
-		w := workload.SpeechSlowFraction(1, frac).WithIterations(300)
+		w := workload.SpeechSlowFraction(1, frac)
 
-		pt, ok := minato.BaselineFactory("pytorch")
-		if !ok {
-			log.Fatal("missing pytorch baseline")
-		}
-		ptRep, err := minato.Simulate(cfg, w, pt, minato.Params{})
+		ptRep, err := minato.TrainWorkload(w,
+			minato.WithLoader("pytorch"),
+			minato.WithHardware(cfg),
+			minato.WithIterations(300),
+		)
 		if err != nil {
 			log.Fatal(err)
 		}
 
 		// Instrumented Minato run: collect the worker-count series.
-		mnRep, err := minato.Simulate(cfg, w, minato.MinatoFactory(), minato.Params{Collect: true})
+		mnRep, err := minato.TrainWorkload(w,
+			minato.WithLoader("minato"),
+			minato.WithHardware(cfg),
+			minato.WithIterations(300),
+			minato.WithParams(minato.Params{Collect: true}),
+		)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -53,5 +61,4 @@ func main() {
 	fmt.Println()
 	fmt.Println("The gains concentrate where per-sample variability exists (§5.6);")
 	fmt.Println("the scheduler grows the pool as heavy samples demand more CPU.")
-	_ = time.Second
 }

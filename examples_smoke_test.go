@@ -1,0 +1,23 @@
+package minato
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestQuickstartRunsEndToEnd asserts that the quickstart example — the v2
+// API's living documentation — builds and runs to completion on the
+// virtual runtime.
+func TestQuickstartRunsEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping go-run smoke test in -short mode")
+	}
+	out, err := exec.Command("go", "run", "./examples/quickstart").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run ./examples/quickstart: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "all 32 batches delivered") {
+		t.Fatalf("quickstart did not deliver its batch budget:\n%s", out)
+	}
+}

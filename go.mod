@@ -1,0 +1,3 @@
+module github.com/minatoloader/minato
+
+go 1.23

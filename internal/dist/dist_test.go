@@ -1,0 +1,141 @@
+package dist
+
+import (
+	"math"
+	"testing"
+)
+
+func TestUniformDeterministicAndInRange(t *testing.T) {
+	for i := uint64(0); i < 10000; i++ {
+		v := Uniform(1, 2, i)
+		if v <= 0 || v >= 1 {
+			t.Fatalf("Uniform(1,2,%d) = %v, want (0,1)", i, v)
+		}
+		if v != Uniform(1, 2, i) {
+			t.Fatalf("Uniform not deterministic at i=%d", i)
+		}
+	}
+	if Uniform(1, 2, 3) == Uniform(1, 2, 4) {
+		t.Fatal("consecutive draws collide")
+	}
+	if Uniform(1, 2, 3) == Uniform(1, 3, 3) {
+		t.Fatal("streams not independent")
+	}
+	if Uniform(1, 2, 3) == Uniform(2, 2, 3) {
+		t.Fatal("seeds not independent")
+	}
+}
+
+func TestUniformMean(t *testing.T) {
+	const n = 100000
+	sum := 0.0
+	for i := uint64(0); i < n; i++ {
+		sum += Uniform(7, 1, i)
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("mean = %v, want ≈0.5", mean)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Fatal("Clamp broken")
+	}
+}
+
+func TestProbit(t *testing.T) {
+	// Known quantiles of the standard normal.
+	cases := []struct{ p, z float64 }{
+		{0.5, 0},
+		{0.975, 1.959964},
+		{0.025, -1.959964},
+		{0.84134474, 1.0},
+		{0.999, 3.090232},
+		{0.001, -3.090232},
+	}
+	for _, c := range cases {
+		if got := Probit(c.p); math.Abs(got-c.z) > 1e-4 {
+			t.Errorf("Probit(%v) = %v, want %v", c.p, got, c.z)
+		}
+	}
+	if !math.IsInf(Probit(0), -1) || !math.IsInf(Probit(1), 1) {
+		t.Error("Probit endpoints")
+	}
+	if !math.IsNaN(Probit(-0.1)) || !math.IsNaN(Probit(1.1)) || !math.IsNaN(Probit(math.NaN())) {
+		t.Error("Probit out-of-domain")
+	}
+}
+
+func TestNormalClamped(t *testing.T) {
+	for i := uint64(0); i < 1000; i++ {
+		v := NormalClamped(1, 1, i, 0.5, 0.2, 0.1, 0.9)
+		if v < 0.1 || v > 0.9 {
+			t.Fatalf("NormalClamped out of bounds: %v", v)
+		}
+	}
+}
+
+func TestLogNormalMedian(t *testing.T) {
+	const n = 20000
+	below := 0
+	for i := uint64(0); i < n; i++ {
+		if LogNormalMedian(3, 1, i, 120, 0.4) < 120 {
+			below++
+		}
+	}
+	// The median parameterization puts half the mass below the median.
+	if frac := float64(below) / n; math.Abs(frac-0.5) > 0.02 {
+		t.Fatalf("%.3f of draws below the median, want ≈0.5", frac)
+	}
+}
+
+func TestPermutationIsPermutation(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 97, 3000} {
+		p := Permutation(1, 1000, n)
+		if len(p) != n {
+			t.Fatalf("len = %d, want %d", len(p), n)
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("invalid permutation of %d: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestPermutationDeterministicAndKeyed(t *testing.T) {
+	a := Permutation(1, 5, 100)
+	b := Permutation(1, 5, 100)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Permutation not deterministic")
+		}
+	}
+	c := Permutation(1, 6, 100)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different streams produced identical permutations")
+	}
+}
+
+func TestPermutationShuffles(t *testing.T) {
+	p := Permutation(1, 1, 1000)
+	fixed := 0
+	for i, v := range p {
+		if i == v {
+			fixed++
+		}
+	}
+	// A uniform shuffle of 1000 elements has ≈1 fixed point on average.
+	if fixed > 20 {
+		t.Fatalf("%d fixed points: barely shuffled", fixed)
+	}
+}

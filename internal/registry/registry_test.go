@@ -1,0 +1,57 @@
+package registry
+
+import (
+	"testing"
+)
+
+func TestRegisterLookupNames(t *testing.T) {
+	r := New[int]("thing")
+	r.Register("b", 2)
+	r.Register("a", 1)
+	if v, ok := r.Lookup("a"); !ok || v != 1 {
+		t.Fatalf("Lookup(a) = %d, %v", v, ok)
+	}
+	if _, ok := r.Lookup("missing"); ok {
+		t.Fatal("Lookup(missing) succeeded")
+	}
+	if got := r.Names(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Names() = %v, want sorted [a b]", got)
+	}
+	if got := r.Ordered(); got[0] != "b" || got[1] != "a" {
+		t.Fatalf("Ordered() = %v, want registration order [b a]", got)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("Len() = %d", r.Len())
+	}
+}
+
+func TestDuplicatePanics(t *testing.T) {
+	r := New[string]("thing")
+	r.Register("x", "first")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Register did not panic")
+		}
+	}()
+	r.Register("x", "second")
+}
+
+func TestEmptyNamePanics(t *testing.T) {
+	r := New[string]("thing")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty-name Register did not panic")
+		}
+	}()
+	r.Register("", "anonymous")
+}
+
+func TestNamesIsACopy(t *testing.T) {
+	r := New[int]("thing")
+	r.Register("a", 1)
+	names := r.Names()
+	names[0] = "mutated"
+	if got := r.Names(); got[0] != "a" {
+		t.Fatalf("Names() leaked internal state: %v", got)
+	}
+}

@@ -183,9 +183,16 @@ func Run(rt simtime.Runtime, tb *hardware.Testbed, w workload.Workload, f Factor
 	spec := w.Spec()
 	ld := f.New(env, spec)
 
+	// The factory's registered name wins over the loader's self-report, so
+	// backends registered under several names (e.g. configuration
+	// variants) stay distinguishable in reports.
+	loaderName := f.Name
+	if loaderName == "" {
+		loaderName = ld.Name()
+	}
 	rep := &Report{
 		Workload: w.Name,
-		Loader:   ld.Name(),
+		Loader:   loaderName,
 		GPUs:     len(tb.GPUs),
 	}
 

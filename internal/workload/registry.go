@@ -1,0 +1,49 @@
+// Workload registration: the paper's evaluation tasks self-register here
+// under their report names, and downstream packages add new training tasks
+// the same way — making every -workload flag and the public
+// minato.RegisterWorkload / minato.Workloads surface extensible without
+// editing this package.
+package workload
+
+import (
+	"time"
+
+	"github.com/minatoloader/minato/internal/registry"
+)
+
+// Constructor builds a workload from a seed. Registered workloads are
+// constructors rather than values so every run can re-derive its dataset
+// and accuracy noise from the session seed.
+type Constructor func(seed uint64) Workload
+
+var reg = registry.New[Constructor]("workload")
+
+func init() {
+	// The paper's four evaluation workloads (Table 3), in evaluation order.
+	Register("img-seg", ImageSegmentation)
+	Register("obj-det", ObjectDetection)
+	Register("speech-3s", func(seed uint64) Workload { return Speech(seed, 3*time.Second) })
+	Register("speech-10s", func(seed uint64) Workload { return Speech(seed, 10*time.Second) })
+}
+
+// Register adds a workload constructor under name. It panics on an empty
+// or duplicate name.
+func Register(name string, fn Constructor) {
+	reg.Register(name, fn)
+}
+
+// ByName builds the workload registered under name with the given seed.
+func ByName(name string, seed uint64) (Workload, bool) {
+	fn, ok := reg.Lookup(name)
+	if !ok {
+		return Workload{}, false
+	}
+	return fn(seed), true
+}
+
+// Names returns every registered workload name, sorted.
+func Names() []string { return reg.Names() }
+
+// Ordered returns every registered workload name in registration order:
+// the paper's evaluation order first, then downstream registrations.
+func Ordered() []string { return reg.Ordered() }

@@ -19,15 +19,29 @@
 //   - the paper's workloads, the trainer, and the experiment registry that
 //     regenerates every table and figure of the evaluation.
 //
-// A minimal session:
+// The v2 API is session-centric. A session over a custom dataset streams
+// batches through a context-aware iterator:
 //
-//	cfg := minato.ConfigA()                       // 4×A100 testbed
-//	w := minato.SpeechWorkload(1, 3*time.Second)  // Speech-3s
-//	rep, err := minato.Simulate(cfg, w, minato.MinatoFactory(), minato.Params{})
+//	sess, err := minato.Open(dataset,
+//	    minato.WithPipeline(pipeline),
+//	    minato.WithBatchSize(64),
+//	    minato.WithIterations(1000),
+//	)
+//	for batch, err := range sess.Batches(ctx) { ... }
+//	rep, err := sess.Close()
+//
+// Full training sessions resolve workloads and loader backends through
+// the registries (RegisterLoader / RegisterWorkload):
+//
+//	rep, err := minato.Train("speech-3s",
+//	    minato.WithLoader("pytorch"),
+//	    minato.WithHardware(minato.ConfigA()),
+//	)
 //	// rep.TrainTime, rep.AvgGPUUtil, ...
 //
-// For embedding the loader directly (custom datasets and pipelines), see
-// examples/quickstart.
+// For embedding the loader around custom datasets and pipelines, see
+// examples/quickstart; README.md has the quickstart walkthrough and
+// DESIGN.md the simulation substitution table.
 package minato
 
 import (
@@ -89,6 +103,9 @@ type (
 )
 
 // New returns a MinatoLoader over spec, running on env.
+//
+// Deprecated: use Open, which wires the environment, spec, and loader from
+// functional options and streams batches through Session.Batches.
 func New(env *Env, spec Spec, cfg Config) *Loader { return core.New(env, spec, cfg) }
 
 // DefaultConfig returns the paper's MinatoLoader configuration (§5.1).
@@ -121,6 +138,10 @@ func ConfigA() HardwareConfig { return hardware.ConfigA() }
 func ConfigB() HardwareConfig { return hardware.ConfigB() }
 
 // Simulate runs one training session on a fresh virtual-time kernel.
+//
+// Deprecated: use Train (registered workloads) or TrainWorkload (workload
+// values), which resolve loaders through the registry and accept the same
+// functional options as Open.
 func Simulate(cfg HardwareConfig, w Workload, f Factory, p Params) (*Report, error) {
 	return trainer.Simulate(cfg, w, f, p)
 }
@@ -147,6 +168,8 @@ func MinatoFactoryWith(cfg Config) Factory { return loaders.Minato(cfg) }
 
 // BaselineFactory returns a baseline loader factory by name: "pytorch",
 // "pecan", or "dali".
+//
+// Deprecated: use LoaderByName, which resolves any registered loader.
 func BaselineFactory(name string) (Factory, bool) { return loaders.ByName(name) }
 
 // AllFactories returns the paper's four systems in comparison order.
@@ -192,8 +215,16 @@ type EnvConfig struct {
 
 // NewEnv builds a loader environment on rt with the given sizing. The
 // returned Env is ready for New; the caller drives consumption via
-// Loader.Next and waits on Env.WG for shutdown.
+// Loader.Next and waits on Env.WG for shutdown. Sessions opened through
+// Open manage all of this automatically.
 func NewEnv(rt Runtime, cfg EnvConfig) *Env {
+	env, _, _ := buildEnv(rt, cfg)
+	return env
+}
+
+// buildEnv is NewEnv keeping handles to the disk and cache so sessions can
+// report storage statistics.
+func buildEnv(rt Runtime, cfg EnvConfig) (*Env, *storage.Disk, *storage.PageCache) {
 	if cfg.Cores <= 0 {
 		cfg.Cores = 8
 	}
@@ -207,11 +238,13 @@ func NewEnv(rt Runtime, cfg EnvConfig) *Env {
 		cfg.CacheBytes = 8 << 30
 	}
 	disk := storage.NewDisk(rt, "disk", cfg.DiskBandwidth, 2)
-	return &Env{
+	cache := storage.NewPageCache(cfg.CacheBytes)
+	env := &Env{
 		RT:    rt,
 		CPU:   device.New(rt, "cpu", float64(cfg.Cores)),
 		GPUs:  gpu.Pool(rt, cfg.GPUs, gpu.A100, 40<<30),
-		Store: &storage.Store{Disk: disk, Cache: storage.NewPageCache(cfg.CacheBytes)},
+		Store: &storage.Store{Disk: disk, Cache: cache},
 		WG:    simtime.NewWaitGroup(rt),
 	}
+	return env, disk, cache
 }

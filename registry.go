@@ -1,0 +1,45 @@
+package minato
+
+import (
+	"github.com/minatoloader/minato/internal/loaders"
+	"github.com/minatoloader/minato/internal/workload"
+)
+
+// WorkloadConstructor builds a workload from a session seed. Registered
+// workloads are constructors so every run re-derives its dataset and
+// accuracy noise from the seed it is given.
+type WorkloadConstructor = workload.Constructor
+
+// RegisterLoader adds a loader backend under name, making it resolvable by
+// WithLoader, LoaderByName, and every -loader flag. The factory's Name is
+// set to the registered name. It panics on an empty or duplicate name —
+// registration is an init-time act where collisions are programming
+// errors. The paper's four systems ("pytorch", "pecan", "dali", "minato")
+// are pre-registered.
+func RegisterLoader(name string, f Factory) {
+	f.Name = name
+	loaders.Register(f)
+}
+
+// RegisterWorkload adds a workload under name, making it resolvable by
+// Train, WorkloadByName, and every -workload flag. It panics on an empty
+// or duplicate name. The paper's four workloads ("img-seg", "obj-det",
+// "speech-3s", "speech-10s") are pre-registered.
+func RegisterWorkload(name string, fn WorkloadConstructor) {
+	workload.Register(name, fn)
+}
+
+// Loaders returns every registered loader name, sorted.
+func Loaders() []string { return loaders.Names() }
+
+// Workloads returns every registered workload name, sorted.
+func Workloads() []string { return workload.Names() }
+
+// LoaderByName returns the registered factory for a loader name.
+func LoaderByName(name string) (Factory, bool) { return loaders.ByName(name) }
+
+// WorkloadByName builds the workload registered under name with the given
+// seed.
+func WorkloadByName(name string, seed uint64) (Workload, bool) {
+	return workload.ByName(name, seed)
+}

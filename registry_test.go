@@ -1,0 +1,95 @@
+package minato
+
+import (
+	"context"
+	"slices"
+	"testing"
+	"time"
+)
+
+// TestRegistryRoundTrip registers a custom loader and workload, resolves
+// both by name, enumerates them, and runs them through the v2 entry
+// points.
+func TestRegistryRoundTrip(t *testing.T) {
+	RegisterLoader("test-minato-lite", MinatoFactoryWith(func() Config {
+		cfg := DefaultConfig()
+		cfg.WarmupSamples = 8
+		return cfg
+	}()))
+	RegisterWorkload("test-tiny-speech", func(seed uint64) Workload {
+		w := SpeechWorkload(seed, 3*time.Second)
+		return w.WithIterations(10)
+	})
+
+	if !slices.Contains(Loaders(), "test-minato-lite") {
+		t.Fatalf("Loaders() = %v, missing test-minato-lite", Loaders())
+	}
+	if !slices.Contains(Workloads(), "test-tiny-speech") {
+		t.Fatalf("Workloads() = %v, missing test-tiny-speech", Workloads())
+	}
+	f, ok := LoaderByName("test-minato-lite")
+	if !ok || f.Name != "test-minato-lite" {
+		t.Fatalf("LoaderByName = %+v, %v", f, ok)
+	}
+	w, ok := WorkloadByName("test-tiny-speech", 3)
+	if !ok || w.Seed != 3 || w.Iterations != 10 {
+		t.Fatalf("WorkloadByName = %+v, %v", w, ok)
+	}
+
+	// The registered pair drives a full training session end to end.
+	rep, err := Train("test-tiny-speech", WithLoader("test-minato-lite"), WithGPUs(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Loader != "test-minato-lite" || rep.Batches != 10 {
+		t.Fatalf("report %s / %d batches, want test-minato-lite / 10", rep.Loader, rep.Batches)
+	}
+
+	// And the registered loader serves Open sessions by name.
+	sess, err := Open(SubsetDataset(LibriSpeech(1, 5), 64),
+		WithLoader("test-minato-lite"), WithBatchSize(8), WithIterations(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, err := range sess.Batches(context.Background()) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n != 4 {
+		t.Fatalf("session yielded %d batches, want 4", n)
+	}
+}
+
+func TestBuiltinsRegistered(t *testing.T) {
+	for _, name := range []string{"pytorch", "pecan", "dali", "minato"} {
+		if _, ok := LoaderByName(name); !ok {
+			t.Errorf("built-in loader %q not registered", name)
+		}
+	}
+	for _, name := range []string{"img-seg", "obj-det", "speech-3s", "speech-10s"} {
+		if _, ok := WorkloadByName(name, 1); !ok {
+			t.Errorf("built-in workload %q not registered", name)
+		}
+	}
+}
+
+func TestDuplicateLoaderPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate RegisterLoader did not panic")
+		}
+	}()
+	RegisterLoader("minato", MinatoFactory())
+}
+
+func TestDuplicateWorkloadPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate RegisterWorkload did not panic")
+		}
+	}()
+	RegisterWorkload("img-seg", ImageSegmentationWorkload)
+}

@@ -1,0 +1,491 @@
+package minato
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"iter"
+	"strings"
+	"time"
+
+	"github.com/minatoloader/minato/internal/hardware"
+	"github.com/minatoloader/minato/internal/loaders"
+	"github.com/minatoloader/minato/internal/simtime"
+	"github.com/minatoloader/minato/internal/storage"
+	"github.com/minatoloader/minato/internal/trainer"
+	"github.com/minatoloader/minato/internal/workload"
+)
+
+// ErrSessionConsumed is returned when Batches is ranged over a second
+// time: a session streams its batch budget exactly once.
+var ErrSessionConsumed = errors.New("minato: session batches already consumed")
+
+// ErrSessionClosed is returned when Batches is called after Close.
+var ErrSessionClosed = errors.New("minato: session closed")
+
+// sessionOptions accumulates the functional options of Open, Train, and
+// TrainWorkload. Fields left at their zero value take the documented
+// defaults.
+type sessionOptions struct {
+	pipeline   *Pipeline
+	batchSize  int
+	loaderName string
+	factory    *Factory
+	loaderCfg  *Config
+	hw         *HardwareConfig
+	env        *EnvConfig
+	gpus       int
+	rt         Runtime
+	iterations int
+	epochs     int
+	seed       uint64
+	params     Params
+}
+
+// Option configures a Session (Open) or a training run (Train,
+// TrainWorkload).
+type Option func(*sessionOptions)
+
+// WithPipeline sets the preprocessing pipeline samples flow through.
+// Open-only (training workloads carry their own pipeline); the default is
+// an empty pipeline that delivers samples unchanged.
+func WithPipeline(p *Pipeline) Option { return func(o *sessionOptions) { o.pipeline = p } }
+
+// WithBatchSize sets how many samples each delivered batch holds. Open
+// defaults to 32; Train defaults to the workload's Table 3 value.
+func WithBatchSize(n int) Option { return func(o *sessionOptions) { o.batchSize = n } }
+
+// WithLoader selects the data loader backend by registered name
+// (RegisterLoader; "pytorch", "pecan", "dali", and "minato" are built in).
+// The default is "minato".
+func WithLoader(name string) Option { return func(o *sessionOptions) { o.loaderName = name } }
+
+// WithLoaderFactory bypasses the registry and uses the given factory
+// directly — for one-off configurations not worth registering.
+func WithLoaderFactory(f Factory) Option { return func(o *sessionOptions) { o.factory = &f } }
+
+// WithLoaderConfig runs MinatoLoader with a custom Config instead of the
+// paper's defaults. It conflicts with selecting a non-minato loader.
+func WithLoaderConfig(cfg Config) Option { return func(o *sessionOptions) { o.loaderCfg = &cfg } }
+
+// WithHardware runs the session on one of the simulated testbeds
+// (ConfigA, ConfigB, or a custom HardwareConfig). Without it, Open sizes a
+// lightweight environment via WithEnv defaults and Train uses ConfigA.
+func WithHardware(cfg HardwareConfig) Option { return func(o *sessionOptions) { o.hw = &cfg } }
+
+// WithEnv sizes a custom embedder environment (cores, disk, cache) for
+// Open. It conflicts with WithHardware.
+func WithEnv(cfg EnvConfig) Option { return func(o *sessionOptions) { o.env = &cfg } }
+
+// WithGPUs overrides the GPU (consumer) count of the testbed or
+// environment.
+func WithGPUs(n int) Option { return func(o *sessionOptions) { o.gpus = n } }
+
+// WithRuntime runs the session on an existing runtime — e.g.
+// NewRealRuntime to stream against the wall clock, or a shared virtual
+// kernel. Open-only; the default is a fresh virtual runtime.
+func WithRuntime(rt Runtime) Option { return func(o *sessionOptions) { o.rt = rt } }
+
+// WithIterations bounds the session to n delivered batches, wrapping
+// epochs as needed. It takes precedence over WithEpochs.
+func WithIterations(n int) Option { return func(o *sessionOptions) { o.iterations = n } }
+
+// WithEpochs bounds the session to n full passes over the dataset
+// (drop-last semantics). The default budget is one epoch.
+func WithEpochs(n int) Option { return func(o *sessionOptions) { o.epochs = n } }
+
+// WithSeed keys every random draw of the session (shuffling, synthetic
+// sample properties). Identical seeds reproduce runs exactly. Default 1.
+func WithSeed(seed uint64) Option { return func(o *sessionOptions) { o.seed = seed } }
+
+// WithParams tunes what a training run records (time series, batch
+// composition, per-sample traces). Train/TrainWorkload only.
+func WithParams(p Params) Option { return func(o *sessionOptions) { o.params = p } }
+
+func buildOptions(opts []Option) *sessionOptions {
+	o := &sessionOptions{seed: 1}
+	for _, opt := range opts {
+		opt(o)
+	}
+	return o
+}
+
+func (o *sessionOptions) validate() error {
+	if o.batchSize < 0 {
+		return fmt.Errorf("minato: batch size %d < 0", o.batchSize)
+	}
+	if o.iterations < 0 {
+		return fmt.Errorf("minato: iteration budget %d < 0", o.iterations)
+	}
+	if o.epochs < 0 {
+		return fmt.Errorf("minato: epoch budget %d < 0", o.epochs)
+	}
+	if o.gpus < 0 {
+		return fmt.Errorf("minato: GPU count %d < 0", o.gpus)
+	}
+	if o.hw != nil && o.env != nil {
+		return errors.New("minato: WithHardware and WithEnv are mutually exclusive")
+	}
+	if o.factory != nil && o.loaderName != "" {
+		return errors.New("minato: WithLoader and WithLoaderFactory are mutually exclusive")
+	}
+	if o.loaderCfg != nil && o.loaderName != "" && o.loaderName != "minato" {
+		return fmt.Errorf("minato: WithLoaderConfig configures the minato loader, but %q is selected", o.loaderName)
+	}
+	if o.loaderCfg != nil && o.factory != nil {
+		return errors.New("minato: WithLoaderConfig and WithLoaderFactory are mutually exclusive")
+	}
+	return nil
+}
+
+// resolveFactory picks the loader factory: an explicit factory first, then
+// a custom-configured MinatoLoader, then the registry by name, defaulting
+// to "minato".
+func (o *sessionOptions) resolveFactory() (Factory, error) {
+	if o.factory != nil {
+		return *o.factory, nil
+	}
+	name := o.loaderName
+	if name == "" {
+		name = "minato"
+	}
+	if o.loaderCfg != nil {
+		return loaders.Minato(*o.loaderCfg), nil
+	}
+	f, ok := loaders.ByName(name)
+	if !ok {
+		return Factory{}, fmt.Errorf("minato: unknown loader %q (registered: %s)",
+			name, strings.Join(loaders.Names(), ", "))
+	}
+	return f, nil
+}
+
+type sessionState int
+
+const (
+	sessionNew sessionState = iota
+	sessionConsumed
+	sessionClosed
+)
+
+// Session is one data-loading run: a dataset flowing through a
+// preprocessing pipeline into batches, delivered by a pluggable loader
+// backend over a simulated (or real) runtime.
+//
+// Lifecycle: Open configures and wires the session, Batches streams the
+// configured batch budget exactly once, Close tears down and returns the
+// session's Report. Sessions are not safe for concurrent use.
+type Session struct {
+	rt     Runtime
+	ownsRT bool
+	env    *Env
+	ld     DataLoader
+	name   string
+	spec   Spec
+	disk   *storage.Disk
+	cache  *storage.PageCache
+
+	state   sessionState
+	err     error
+	startAt time.Duration
+	endAt   time.Duration
+	batches int64
+	samples int64
+	bytes   int64
+}
+
+// Open starts a data-loading session over dataset, configured by
+// functional options:
+//
+//	sess, err := minato.Open(dataset,
+//	    minato.WithPipeline(pipeline),
+//	    minato.WithBatchSize(64),
+//	    minato.WithLoader("minato"),
+//	    minato.WithIterations(1000),
+//	)
+//
+// Defaults: the MinatoLoader backend, batch size 32, a one-epoch budget,
+// seed 1, an 8-core single-GPU environment (see EnvConfig), and a fresh
+// deterministic virtual runtime. The loader's background tasks launch on
+// the first Batches call, so an Open session costs nothing until consumed.
+func Open(dataset Dataset, opts ...Option) (*Session, error) {
+	if dataset == nil {
+		return nil, errors.New("minato: Open requires a dataset")
+	}
+	o := buildOptions(opts)
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	f, err := o.resolveFactory()
+	if err != nil {
+		return nil, err
+	}
+
+	rt := o.rt
+	if rt == nil {
+		rt = simtime.NewVirtual()
+	}
+
+	var (
+		env   *Env
+		disk  *storage.Disk
+		cache *storage.PageCache
+	)
+	if o.hw != nil {
+		cfg := *o.hw
+		if o.gpus > 0 {
+			cfg = cfg.WithGPUs(o.gpus)
+		}
+		tb := hardware.NewTestbed(rt, cfg)
+		env = &Env{RT: rt, CPU: tb.CPU, GPUs: tb.GPUs, Store: tb.Store, WG: simtime.NewWaitGroup(rt)}
+		disk, cache = tb.Disk, tb.Cache
+	} else {
+		ec := EnvConfig{}
+		if o.env != nil {
+			ec = *o.env
+		}
+		if o.gpus > 0 {
+			ec.GPUs = o.gpus
+		}
+		env, disk, cache = buildEnv(rt, ec)
+	}
+
+	pipeline := o.pipeline
+	if pipeline == nil {
+		pipeline = NewPipeline("identity")
+	}
+	batchSize := o.batchSize
+	if batchSize == 0 {
+		batchSize = 32
+	}
+	epochs := o.epochs
+	if o.iterations == 0 && epochs == 0 {
+		epochs = 1
+	}
+	spec := Spec{
+		Dataset:    dataset,
+		Pipeline:   pipeline,
+		BatchSize:  batchSize,
+		Epochs:     epochs,
+		Iterations: o.iterations,
+		Seed:       o.seed,
+	}
+	if spec.BatchesPerEpoch() == 0 {
+		return nil, fmt.Errorf("minato: batch size %d exceeds dataset %q size %d",
+			batchSize, dataset.Name(), dataset.Len())
+	}
+
+	ld := f.New(env, spec)
+	name := f.Name
+	if name == "" {
+		name = ld.Name()
+	}
+	return &Session{
+		rt:     rt,
+		ownsRT: o.rt == nil,
+		env:    env,
+		ld:     ld,
+		name:   name,
+		spec:   spec,
+		disk:   disk,
+		cache:  cache,
+	}, nil
+}
+
+// Batches returns a single-use iterator over the session's batches:
+//
+//	for batch, err := range sess.Batches(ctx) {
+//	    if err != nil { ... }
+//	    // consume batch
+//	}
+//
+// The iterator starts the loader on first use, yields exactly the
+// configured budget (iterations, or epochs × batches-per-epoch), and then
+// ends — the io.EOF that loaders use internally is absorbed into normal
+// loop termination. Breaking out early stops the loader and abandons
+// pending work; a ctx cancellation is yielded once as the error and ends
+// the stream. In every case the loader's background tasks are fully torn
+// down before the loop statement completes, so Close never blocks.
+func (s *Session) Batches(ctx context.Context) iter.Seq2[*Batch, error] {
+	return func(yield func(*Batch, error) bool) {
+		switch s.state {
+		case sessionClosed:
+			yield(nil, ErrSessionClosed)
+			return
+		case sessionConsumed:
+			yield(nil, ErrSessionConsumed)
+			return
+		}
+		s.state = sessionConsumed
+		s.runOnKernel(func() {
+			if err := ctx.Err(); err != nil {
+				s.err = err
+				yield(nil, err)
+				return
+			}
+			s.startAt = s.rt.Now()
+			s.endAt = s.startAt
+			if err := s.ld.Start(ctx); err != nil {
+				s.err = err
+				yield(nil, err)
+				return
+			}
+			defer s.teardown()
+
+			// Loaders shard delivery across per-GPU consumer queues;
+			// drain them round-robin until each reports end-of-data.
+			n := len(s.env.GPUs)
+			done := make([]bool, n)
+			remaining := n
+			for g := 0; remaining > 0; g = (g + 1) % n {
+				if done[g] {
+					continue
+				}
+				b, err := s.ld.Next(ctx, g)
+				if errors.Is(err, io.EOF) {
+					done[g] = true
+					remaining--
+					continue
+				}
+				if err != nil {
+					s.err = err
+					yield(nil, err)
+					return
+				}
+				s.batches++
+				s.samples += int64(b.Size())
+				s.bytes += b.Bytes()
+				s.endAt = s.rt.Now()
+				if !yield(b, nil) {
+					return
+				}
+			}
+		})
+	}
+}
+
+// runOnKernel executes fn as a tracked task of a virtual runtime (whose
+// time only advances while tracked tasks are parked), or inline on a real
+// one.
+func (s *Session) runOnKernel(fn func()) {
+	if v, ok := s.rt.(*simtime.Virtual); ok {
+		v.Run(fn)
+		return
+	}
+	fn()
+}
+
+// teardown stops the loader and waits for its background tasks. Called
+// from inside the kernel task driving Batches.
+func (s *Session) teardown() {
+	s.ld.Stop()
+	_ = s.env.WG.Wait(context.Background())
+}
+
+// Loader exposes the underlying loader for diagnostics; MinatoLoader
+// embedders can assert it to *minato.Loader for Timeout, Workers, etc.
+func (s *Session) Loader() DataLoader { return s.ld }
+
+// Runtime returns the runtime the session runs on.
+func (s *Session) Runtime() Runtime { return s.rt }
+
+// Close finalizes the session and returns its Report: batches, samples,
+// and bytes delivered, delivery time (TrainTime), and storage statistics.
+// The returned error is the first error the batch stream hit, if any.
+// Close is idempotent; loader teardown already happened when the Batches
+// loop ended, so Close only waits (briefly) for a session-owned virtual
+// kernel to confirm every task has fully exited.
+func (s *Session) Close() (*Report, error) {
+	s.state = sessionClosed
+	if v, ok := s.rt.(*simtime.Virtual); ok && s.ownsRT {
+		v.Drain()
+	}
+	rep := &Report{
+		Workload:     s.spec.Dataset.Name(),
+		Loader:       s.name,
+		GPUs:         len(s.env.GPUs),
+		TrainTime:    s.endAt - s.startAt,
+		Batches:      s.batches,
+		Samples:      s.samples,
+		TrainedBytes: s.bytes,
+	}
+	if s.disk != nil {
+		rep.DiskBytes = s.disk.BytesRead()
+	}
+	if s.cache != nil {
+		rep.CacheStats = s.cache.Stats()
+	}
+	return rep, s.err
+}
+
+// Train runs a full training session — loader plus simulated GPU
+// consumers — for a registered workload, resolving both the workload and
+// the loader through the registries:
+//
+//	rep, err := minato.Train("speech-3s",
+//	    minato.WithLoader("pytorch"),
+//	    minato.WithHardware(minato.ConfigA()),
+//	    minato.WithIterations(200),
+//	)
+//
+// Defaults: the MinatoLoader backend, the ConfigA testbed, the workload's
+// Table 3 budgets, and seed 1.
+func Train(workloadName string, opts ...Option) (*Report, error) {
+	o := buildOptions(opts)
+	w, ok := workload.ByName(workloadName, o.seed)
+	if !ok {
+		return nil, fmt.Errorf("minato: unknown workload %q (registered: %s)",
+			workloadName, strings.Join(workload.Names(), ", "))
+	}
+	return trainOpts(w, o)
+}
+
+// TrainWorkload is Train for a workload value built directly (custom or
+// parameterized workloads that are not registered by name).
+func TrainWorkload(w Workload, opts ...Option) (*Report, error) {
+	return trainOpts(w, buildOptions(opts))
+}
+
+func trainOpts(w Workload, o *sessionOptions) (*Report, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	if o.env != nil {
+		return nil, errors.New("minato: WithEnv applies to Open; training sessions use WithHardware")
+	}
+	if o.rt != nil {
+		return nil, errors.New("minato: training sessions own their runtime; WithRuntime applies to Open")
+	}
+	if o.pipeline != nil {
+		return nil, errors.New("minato: workloads carry their own pipeline; WithPipeline applies to Open")
+	}
+	f, err := o.resolveFactory()
+	if err != nil {
+		return nil, err
+	}
+	if o.batchSize > 0 {
+		w.BatchSize = o.batchSize
+	}
+	if o.epochs > 0 {
+		w = w.WithEpochs(o.epochs)
+	}
+	if o.iterations > 0 {
+		w = w.WithIterations(o.iterations)
+	}
+	// Same guard as Open: with drop-last semantics a batch larger than the
+	// dataset yields zero batches per epoch, which would spin the index
+	// source forever instead of terminating.
+	if w.Spec().BatchesPerEpoch() == 0 {
+		return nil, fmt.Errorf("minato: batch size %d exceeds dataset %q size %d",
+			w.BatchSize, w.Dataset.Name(), w.Dataset.Len())
+	}
+	hw := hardware.ConfigA()
+	if o.hw != nil {
+		hw = *o.hw
+	}
+	if o.gpus > 0 {
+		hw = hw.WithGPUs(o.gpus)
+	}
+	return trainer.Simulate(hw, w, f, o.params)
+}
