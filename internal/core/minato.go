@@ -42,6 +42,7 @@ import (
 	"github.com/minatoloader/minato/internal/loader"
 	"github.com/minatoloader/minato/internal/metrics"
 	"github.com/minatoloader/minato/internal/queue"
+	"github.com/minatoloader/minato/internal/simtime"
 	"github.com/minatoloader/minato/internal/transform"
 )
 
@@ -66,7 +67,12 @@ type Config struct {
 	DeltaClip     int           // |Δ| bound, default 2
 	SchedInterval time.Duration // default 1s
 
-	// PollInterval is the batch constructor's idle sleep (10 ms, §4.2).
+	// PollInterval (10 ms, §4.2) is the fallback heartbeat for idle waits.
+	// Workers and batch constructors block on event-driven wakeups (the
+	// simtime wait fabric), not on this interval; it only bounds how long a
+	// lost wakeup could stall them on a nondeterministic runtime. Under the
+	// Virtual runtime it is never armed — a lost wakeup there surfaces as a
+	// kernel deadlock, which is a bug to fix, not to paper over.
 	PollInterval time.Duration
 
 	// OrderPreserving disables reordering for curriculum/strict-order
@@ -183,6 +189,20 @@ type Loader struct {
 	faults    atomic.Int64 // fault events (diagnostics)
 	srcDone   atomic.Bool  // index stream exhausted
 
+	// gate broadcasts accounting changes that can flip drained() without a
+	// queue operation (faults, source exhaustion, worker exits, the final
+	// consume), so parked batch constructors re-check instead of polling.
+	gate *simtime.Gate
+	// heartbeat is the idle-wait fallback: cfg.PollInterval on
+	// nondeterministic runtimes, 0 (disabled) under Virtual.
+	heartbeat time.Duration
+
+	// idleWaits counts event-driven idle waits begun by workers and batch
+	// constructors; heartbeats counts the subset that ended on the fallback
+	// heartbeat instead of a wakeup (diagnostics; zero in the default path).
+	idleWaits  atomic.Int64
+	heartbeats atomic.Int64
+
 	batchSeq atomic.Int64
 	// claims assigns batch slots to constructors so the delivery budget is
 	// met exactly: without it, two constructors could strand the final
@@ -204,6 +224,10 @@ func New(env *loader.Env, spec loader.Spec, cfg Config) *Loader {
 		fastQ: queue.New[*data.Sample](env.RT, "fast", cfg.QueueCap),
 		slowQ: queue.New[*data.Sample](env.RT, "slow", cfg.QueueCap),
 		tempQ: queue.New[tempItem](env.RT, "temp", cfg.QueueCap),
+		gate:  simtime.NewGate(),
+	}
+	if !simtime.Deterministic(env.RT) {
+		l.heartbeat = cfg.PollInterval
 	}
 	for range env.GPUs {
 		l.batchQs = append(l.batchQs,
@@ -261,21 +285,30 @@ func (l *Loader) Start(ctx context.Context) error {
 // samples flowing into upcoming batches instead of deferring them to the
 // end (§4.1: "MinatoLoader does not defer these samples to the very end").
 //
-// A panic in a user transform is contained to the sample being processed:
-// the sample is abandoned (counted, surfaced via Faults) and the worker
-// keeps serving — matching the isolation a multiprocessing-based loader
-// gets from worker processes.
+// An idle worker blocks on "temp queue or index stream has an item" through
+// the simtime wait fabric; nothing in the steady state is paced by
+// PollInterval. A panic or a per-sample error in loading or a user
+// transform is contained to the sample being processed: the sample is
+// abandoned (counted, surfaced via Faults) and the worker keeps serving —
+// matching the isolation a multiprocessing-based loader gets from worker
+// processes.
 func (l *Loader) spawnWorker(ctx context.Context) {
 	id := l.sched.workerSpawned()
 	l.env.WG.Go("minato-worker", func() {
-		defer l.sched.workerExited()
+		defer func() {
+			l.sched.workerExited()
+			// A worker exit can flip drained(); re-check parked constructors.
+			l.gate.Pulse()
+		}()
+		sel := simtime.NewSelector(l.env.RT)
+		sources := []simtime.Source{l.tempQ, l.idx.Ready()}
 		for {
 			if l.stopFlag.Load() || l.sched.shouldRetire(id) {
 				return
 			}
 			// Background completion first (slow-task work).
 			if item, ok, _ := l.tempQ.TryGet(); ok {
-				if err := l.guard(func() error { return l.finishSlow(ctx, item.s) }, true); err != nil {
+				if !l.runSample(ctx, func() error { return l.finishSlow(ctx, item.s) }, item.s.OriginalOrder) {
 					return
 				}
 				continue
@@ -283,50 +316,101 @@ func (l *Loader) spawnWorker(ctx context.Context) {
 			// New sample.
 			it, ok, err := l.idx.Out().TryGet()
 			if err != nil { // index stream closed and drained
-				l.srcDone.Store(true)
+				if !l.srcDone.Swap(true) {
+					l.gate.Pulse()
+				}
 				// Drain remaining temp items, then exit.
 				item, ok2, _ := l.tempQ.TryGet()
 				if !ok2 {
 					return
 				}
-				if err := l.guard(func() error { return l.finishSlow(ctx, item.s) }, true); err != nil {
+				if !l.runSample(ctx, func() error { return l.finishSlow(ctx, item.s) }, item.s.OriginalOrder) {
 					return
 				}
 				continue
 			}
 			if !ok {
-				if err := l.env.RT.Sleep(ctx, l.cfg.PollInterval); err != nil {
+				// Idle: block until the temp queue or the index stream has
+				// an item (or either closes).
+				l.idleWaits.Add(1)
+				src, werr := sel.Select(ctx, l.heartbeat, sources...)
+				if werr != nil {
 					return
+				}
+				if src == simtime.Heartbeat {
+					l.heartbeats.Add(1)
 				}
 				continue
 			}
 			l.emitted.Add(1)
-			if err := l.guard(func() error { return l.processNew(ctx, it) }, false); err != nil {
+			if !l.runSample(ctx, func() error { return l.processNew(ctx, it) }, it.Seq) {
 				return
 			}
 		}
 	})
 }
 
-// guard runs fn, converting a panic into an abandoned-sample fault. For
-// slow-path work (alreadyEmitted), the in-flight sample was emitted long
-// ago; either way the abandoned counter keeps the termination accounting
-// consistent so batch constructors do not wait for a sample that will
-// never arrive.
-func (l *Loader) guard(fn func() error, alreadyEmitted bool) (err error) {
+// errSamplePanic marks a recovered transform panic so runSample treats it
+// like any other per-sample failure.
+var errSamplePanic = errors.New("minato: panic in sample processing")
+
+// runSample executes one sample-processing step, containing panics and
+// per-sample errors (a failed load, a corrupt sample rejected by a
+// transform) to the sample itself: the sample is abandoned and the worker
+// keeps serving. It reports whether the worker should continue; false means
+// shutdown (queue closed or context cancelled), where abandoning would be
+// wrong — the sample is not lost, the session is ending.
+func (l *Loader) runSample(ctx context.Context, fn func() error, seq int64) bool {
+	err := l.guard(fn)
+	switch {
+	case err == nil:
+		return true
+	case errors.Is(err, queue.ErrClosed),
+		errors.Is(err, context.Canceled),
+		errors.Is(err, context.DeadlineExceeded):
+		return false
+	default:
+		l.abandon(seq)
+		return true
+	}
+}
+
+// guard runs fn, converting a panic into errSamplePanic.
+func (l *Loader) guard(fn func() error) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			l.abandoned.Add(1)
-			l.faults.Add(1)
-			_ = alreadyEmitted
+			err = errSamplePanic
 		}
 	}()
 	return fn()
 }
 
-// Faults returns the number of samples abandoned due to panicking
-// transforms.
+// abandon records the loss of the sample with the given draw order: the
+// abandoned counter keeps the termination accounting consistent so batch
+// constructors do not wait for a sample that will never arrive, the ordered
+// buffer (if any) skips the hole, and the gate wakes parked constructors to
+// re-check drained().
+func (l *Loader) abandon(seq int64) {
+	l.abandoned.Add(1)
+	l.faults.Add(1)
+	if l.cfg.OrderPreserving {
+		l.ordered.skip(seq)
+	}
+	l.gate.Pulse()
+}
+
+// Faults returns the number of samples abandoned due to failing or
+// panicking loads and transforms.
 func (l *Loader) Faults() int64 { return l.faults.Load() }
+
+// IdleWaits returns the number of event-driven idle waits workers and batch
+// constructors entered (diagnostics).
+func (l *Loader) IdleWaits() int64 { return l.idleWaits.Load() }
+
+// HeartbeatWakes returns how many idle waits ended on the PollInterval
+// fallback heartbeat instead of an event wakeup. It is zero under the
+// Virtual runtime, where the heartbeat is never armed.
+func (l *Loader) HeartbeatWakes() int64 { return l.heartbeats.Load() }
 
 // processNew runs the load-balancer path of Algorithm 1 for one sample.
 func (l *Loader) processNew(ctx context.Context, it loader.IndexItem) error {
@@ -401,22 +485,37 @@ func (l *Loader) putFast(ctx context.Context, s *data.Sample) error {
 }
 
 // batchConstructor assembles batches for GPU g: fast queue first, slow
-// queue second, polling when neither has samples (Algorithm 1 lines 19–30).
-// Each full batch occupies a claimed slot of the delivery budget, so the
-// tail of the sample stream lands in exactly one constructor.
+// queue second, blocking on the wait fabric when neither has samples
+// (Algorithm 1 lines 19–30). Each full batch occupies a claimed slot of the
+// delivery budget, so the tail of the sample stream lands in exactly one
+// constructor; a slot whose batch cannot be assembled (shutdown or an
+// abnormal deficit) is released so the claim counter stays an exact account
+// of assembled batches.
 func (l *Loader) batchConstructor(ctx context.Context, g int) {
 	out := l.batchQs[g]
 	defer out.Close()
 	total := int64(l.spec.TotalBatches())
+	sel := simtime.NewSelector(l.env.RT)
+	// Wake sources for an idle constructor, in priority order. The gate
+	// carries accounting-only changes (faults, source exhaustion) that could
+	// flip drained() without a queue operation.
+	var sources []simtime.Source
+	if l.cfg.OrderPreserving {
+		sources = []simtime.Source{l.ordered, l.gate}
+	} else {
+		sources = []simtime.Source{l.fastQ, l.slowQ, l.gate}
+	}
 	for {
 		if l.stopFlag.Load() {
 			return
 		}
 		if l.claims.Add(1) > total {
+			l.claims.Add(-1)
 			return
 		}
-		b, ok := l.assemble(ctx)
+		b, ok := l.assemble(ctx, sel, sources)
 		if !ok {
+			l.claims.Add(-1)
 			return
 		}
 		if err := out.Put(ctx, b); err != nil {
@@ -425,8 +524,11 @@ func (l *Loader) batchConstructor(ctx context.Context, g int) {
 	}
 }
 
-// assemble gathers one full batch from the fast and slow queues.
-func (l *Loader) assemble(ctx context.Context) (*data.Batch, bool) {
+// assemble gathers one full batch from the fast and slow queues (or the
+// ordered buffer). Slow samples are drawn only when the fast queue is empty,
+// preserving Algorithm 1's priority: the scan order below runs anew after
+// every wakeup, whichever source fired.
+func (l *Loader) assemble(ctx context.Context, sel *simtime.Selector, sources []simtime.Source) (*data.Batch, bool) {
 	batch := make([]*data.Sample, 0, l.spec.BatchSize)
 	for len(batch) < l.spec.BatchSize {
 		if l.stopFlag.Load() {
@@ -443,15 +545,25 @@ func (l *Loader) assemble(ctx context.Context) (*data.Batch, bool) {
 		if s == nil {
 			if l.drained() {
 				// Abnormal deficit (upstream failure): give up on the
-				// remaining partial batch rather than spin forever.
+				// remaining partial batch rather than wait forever.
 				return nil, false
 			}
-			if err := l.env.RT.Sleep(ctx, l.cfg.PollInterval); err != nil {
+			l.idleWaits.Add(1)
+			src, err := sel.Select(ctx, l.heartbeat, sources...)
+			if err != nil {
 				return nil, false
+			}
+			if src == simtime.Heartbeat {
+				l.heartbeats.Add(1)
 			}
 			continue
 		}
 		l.consumed.Add(1)
+		if l.srcDone.Load() && l.consumed.Load() == l.enqueued.Load() {
+			// Possibly the final sample of the stream: peers parked on an
+			// empty queue must re-check drained().
+			l.gate.Pulse()
+		}
 		batch = append(batch, s)
 	}
 	return &data.Batch{
@@ -515,6 +627,9 @@ func (l *Loader) Stop() {
 		for _, q := range l.batchQs {
 			q.Close()
 		}
+		// Constructors parked on the ordered buffer (which has no close
+		// event) re-check stopFlag on the gate pulse.
+		l.gate.Pulse()
 	})
 }
 
@@ -550,11 +665,22 @@ func (l *Loader) RegisterMetrics(c *metrics.Collector) {
 }
 
 // orderedBuffer supports the order-preserving mode (§6): completed samples
-// are released strictly in sampler order.
+// are released strictly in sampler order. It is a wake source: consumers arm
+// a selector on it and are woken when the next-in-order slot fills (or is
+// abandoned), so the mode runs without polling. A nil map value is a
+// tombstone for an abandoned draw; takeNext skips over tombstones so one
+// faulty sample does not stall the order forever.
 type orderedBuffer struct {
 	mu      sync.Mutex
 	pending map[int64]*data.Sample
 	next    int64
+	live    int // non-tombstone entries
+	subs    []orderedSub
+}
+
+type orderedSub struct {
+	sel *simtime.Selector
+	idx int
 }
 
 func newOrderedBuffer() *orderedBuffer {
@@ -563,25 +689,92 @@ func newOrderedBuffer() *orderedBuffer {
 
 func (o *orderedBuffer) add(s *data.Sample) {
 	o.mu.Lock()
-	defer o.mu.Unlock()
 	o.pending[s.OriginalOrder] = s
+	o.live++
+	if s.OriginalOrder == o.next {
+		o.wakeOneLocked()
+	}
+	o.mu.Unlock()
 }
 
-// takeNext returns the next-in-order sample if ready, else nil.
+// skip tombstones an abandoned draw so the order can advance past it.
+func (o *orderedBuffer) skip(seq int64) {
+	o.mu.Lock()
+	if seq >= o.next {
+		if _, ok := o.pending[seq]; !ok {
+			o.pending[seq] = nil
+			if seq == o.next {
+				o.wakeOneLocked()
+			}
+		}
+	}
+	o.mu.Unlock()
+}
+
+// takeNext returns the next-in-order sample if ready, else nil. Tombstones
+// in front are consumed along the way.
 func (o *orderedBuffer) takeNext() *data.Sample {
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	s, ok := o.pending[o.next]
-	if !ok {
-		return nil
+	for {
+		s, ok := o.pending[o.next]
+		if !ok {
+			return nil
+		}
+		delete(o.pending, o.next)
+		o.next++
+		if s == nil {
+			continue // abandoned draw
+		}
+		o.live--
+		if _, ok := o.pending[o.next]; ok {
+			// Another consumer can proceed with the new front.
+			o.wakeOneLocked()
+		}
+		return s
 	}
-	delete(o.pending, o.next)
-	o.next++
-	return s
 }
 
 func (o *orderedBuffer) empty() bool {
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	return len(o.pending) == 0
+	return o.live == 0
 }
+
+// Arm implements simtime.Source: ready when the next-in-order slot exists
+// (sample or tombstone — consumers re-scan either way).
+func (o *orderedBuffer) Arm(sel *simtime.Selector, idx int) bool {
+	o.mu.Lock()
+	if _, ok := o.pending[o.next]; ok {
+		o.mu.Unlock()
+		sel.TryWake(idx)
+		return true
+	}
+	o.subs = append(o.subs, orderedSub{sel: sel, idx: idx})
+	o.mu.Unlock()
+	return false
+}
+
+// Disarm implements simtime.Source.
+func (o *orderedBuffer) Disarm(sel *simtime.Selector) {
+	o.mu.Lock()
+	for i, e := range o.subs {
+		if e.sel == sel {
+			o.subs = append(o.subs[:i], o.subs[i+1:]...)
+			break
+		}
+	}
+	o.mu.Unlock()
+}
+
+func (o *orderedBuffer) wakeOneLocked() {
+	for len(o.subs) > 0 {
+		e := o.subs[0]
+		o.subs = o.subs[1:]
+		if e.sel.TryWake(e.idx) {
+			return
+		}
+	}
+}
+
+var _ simtime.Source = (*orderedBuffer)(nil)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"io"
 	"testing"
 	"time"
@@ -477,5 +478,212 @@ func TestRestartFromScratchAblationRedoesWork(t *testing.T) {
 		}
 		l.Stop()
 		_ = h.env.WG.Wait(context.Background())
+	})
+}
+
+// rejectingTransform fails validation for specific samples — the cost-model
+// analogue of a corrupt sample that errors (rather than panics) during
+// preprocessing.
+type rejectingTransform struct {
+	transform.Transform
+	bad func(*data.Sample) bool
+}
+
+func (r *rejectingTransform) Validate(s *data.Sample) error {
+	if r.bad(s) {
+		return errors.New("corrupt sample")
+	}
+	return nil
+}
+
+// rejectingSpec wraps the speech pipeline so every 50th dataset index fails
+// validation with a plain error.
+func rejectingSpec(batch, iters int) loader.Spec {
+	base := transform.SpeechPipeline(3 * time.Second)
+	ts := base.Transforms()
+	wrapped := make([]transform.Transform, len(ts))
+	copy(wrapped, ts)
+	wrapped[0] = &rejectingTransform{Transform: ts[0], bad: func(s *data.Sample) bool {
+		return s.Index%50 == 0
+	}}
+	return loader.Spec{
+		Dataset:    dataset.Subset(dataset.NewLibriSpeech(1, 5), 1000),
+		Pipeline:   transform.NewPipeline("rejecting", wrapped...),
+		BatchSize:  8,
+		Iterations: iters,
+		Seed:       1,
+	}
+}
+
+// TestWorkerSurvivesFailingSample: a per-sample error (not a panic) must not
+// kill the worker. Before the fix, each error silently retired a worker and
+// skewed the termination accounting (emitted > enqueued + abandoned), so the
+// session never drained; this test hung.
+func TestWorkerSurvivesFailingSample(t *testing.T) {
+	h := newHarness(8, 1)
+	h.k.Run(func() {
+		l := New(h.env, rejectingSpec(8, 20), DefaultConfig())
+		if err := l.Start(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		delivered := 0
+		for {
+			_, err := l.Next(context.Background(), 0)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			delivered++
+		}
+		if delivered < 18 {
+			t.Fatalf("delivered %d batches, want ≥18 despite per-sample errors", delivered)
+		}
+		if l.Faults() == 0 {
+			t.Fatal("per-sample errors not recorded as faults")
+		}
+		// The claim for any unassemblable tail batch must have been
+		// released: the claim counter is an exact account of assembled
+		// batches (regression for the leaked-claim bug).
+		if got := l.claims.Load(); got != int64(delivered) {
+			t.Fatalf("claims = %d, want %d (delivered batches)", got, delivered)
+		}
+		l.Stop()
+		if err := h.env.WG.Wait(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestOrderPreservingSkipsAbandonedSamples: with strict ordering, an
+// abandoned draw must be tombstoned so the order advances past it instead of
+// stalling every later sample forever.
+func TestOrderPreservingSkipsAbandonedSamples(t *testing.T) {
+	h := newHarness(8, 1)
+	h.k.Run(func() {
+		cfg := DefaultConfig()
+		cfg.OrderPreserving = true
+		l := New(h.env, rejectingSpec(8, 20), cfg)
+		if err := l.Start(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		var prev int64 = -1
+		delivered := 0
+		for {
+			b, err := l.Next(context.Background(), 0)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			delivered++
+			for _, s := range b.Samples {
+				if s.OriginalOrder <= prev {
+					t.Fatalf("order break: %d after %d", s.OriginalOrder, prev)
+				}
+				prev = s.OriginalOrder
+			}
+		}
+		if delivered < 18 {
+			t.Fatalf("delivered %d batches, want ≥18", delivered)
+		}
+		if l.Faults() == 0 {
+			t.Fatal("expected faults")
+		}
+		l.Stop()
+		if err := h.env.WG.Wait(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestNoPollPacingInSteadyState pins the event-driven contract: idle workers
+// and batch constructors block on wakeups, never on PollInterval pacing. A
+// pathological PollInterval must therefore change nothing, and no idle wait
+// may end on the fallback heartbeat.
+func TestNoPollPacingInSteadyState(t *testing.T) {
+	elapsed := func(poll time.Duration) (time.Duration, *Loader) {
+		h := newHarness(16, 1)
+		var l *Loader
+		var total time.Duration
+		h.k.Run(func() {
+			cfg := DefaultConfig()
+			cfg.PollInterval = poll
+			l = New(h.env, bimodalSpec(8, 20), cfg)
+			if err := l.Start(context.Background()); err != nil {
+				t.Fatal(err)
+			}
+			drainAll(context.Background(), t, l, 1)
+			total = h.k.Now()
+			l.Stop()
+			_ = h.env.WG.Wait(context.Background())
+		})
+		return total, l
+	}
+	tDefault, l1 := elapsed(10 * time.Millisecond)
+	tHuge, l2 := elapsed(10 * time.Minute)
+	// A single sleep on the 10-minute interval would blow this bound; the
+	// small epsilon only absorbs wall-race scheduling jitter between runs.
+	if diff := (tHuge - tDefault).Abs(); diff > 5*time.Second {
+		t.Fatalf("PollInterval paced the session: %v (10ms) vs %v (10min)", tDefault, tHuge)
+	}
+	for i, l := range []*Loader{l1, l2} {
+		if l.IdleWaits() == 0 {
+			t.Fatalf("loader %d: no event-driven idle waits recorded", i)
+		}
+		if l.HeartbeatWakes() != 0 {
+			t.Fatalf("loader %d: %d idle waits ended on the poll heartbeat, want 0", i, l.HeartbeatWakes())
+		}
+	}
+}
+
+// TestOrderedBufferWakesConsumers unit-tests the ordered buffer's wake
+// source: a consumer parked on it wakes when the next-in-order slot fills or
+// is skipped, at the exact virtual instant.
+func TestOrderedBufferWakesConsumers(t *testing.T) {
+	k := simtime.NewVirtual()
+	k.Run(func() {
+		o := newOrderedBuffer()
+		sel := simtime.NewSelector(k)
+		wg := simtime.NewWaitGroup(k)
+		s0 := &data.Sample{OriginalOrder: 0}
+		s2 := &data.Sample{OriginalOrder: 2}
+		wg.Go("consumer", func() {
+			// Out-of-order arrival (seq 2 before 0) must not wake us early.
+			if idx, err := sel.Select(context.Background(), 0, o); err != nil || idx != 0 {
+				t.Errorf("Select = %d, %v", idx, err)
+			}
+			if k.Now() != 2*time.Millisecond {
+				t.Errorf("woke at %v, want 2ms (when seq 0 arrived)", k.Now())
+			}
+			if got := o.takeNext(); got != s0 {
+				t.Errorf("takeNext = %v, want seq 0", got)
+			}
+			// Seq 1 is abandoned: the skip must wake us at 3ms and takeNext
+			// must cascade past the tombstone to seq 2.
+			if idx, err := sel.Select(context.Background(), 0, o); err != nil || idx != 0 {
+				t.Errorf("Select after skip = %d, %v", idx, err)
+			}
+			if k.Now() != 3*time.Millisecond {
+				t.Errorf("woke at %v, want 3ms (when seq 1 was skipped)", k.Now())
+			}
+			if got := o.takeNext(); got != s2 {
+				t.Errorf("takeNext after skip = %v, want seq 2", got)
+			}
+			if !o.empty() {
+				t.Error("buffer should be empty after draining")
+			}
+		})
+		wg.Go("producer", func() {
+			_ = k.Sleep(context.Background(), time.Millisecond)
+			o.add(s2)
+			_ = k.Sleep(context.Background(), time.Millisecond)
+			o.add(s0)
+			_ = k.Sleep(context.Background(), time.Millisecond)
+			o.skip(1)
+		})
+		_ = wg.Wait(context.Background())
 	})
 }

@@ -2,7 +2,6 @@ package core
 
 import (
 	"math"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -28,10 +27,18 @@ type ProfilerConfig struct {
 type Profiler struct {
 	cfg ProfilerConfig
 
-	mu      sync.Mutex
-	window  []float64 // ring buffer of preprocessing times (seconds)
+	mu sync.Mutex
+	// The sliding window is kept as a histogram over log-spaced buckets:
+	// ring holds the bucket of each windowed record, counts the per-bucket
+	// population. Recording is O(1) (one bucket in, one out) and a
+	// percentile is one O(buckets) walk — no copy, no sort, no allocation,
+	// unlike the previous sort of the full window every RecomputeEvery
+	// records. Bucket resolution bounds the percentile error to under ~2%
+	// relative, tightened further by linear interpolation inside a bucket.
+	ring    []uint16 // bucket index per windowed record
+	counts  []int32  // histogram over the live window
+	n       int      // live records (≤ WindowSize)
 	idx     int
-	filled  bool
 	records int
 
 	classifiedSlow  int64
@@ -40,6 +47,38 @@ type Profiler struct {
 
 	// timeoutNs is read lock-free on the worker hot path.
 	timeoutNs atomic.Int64
+}
+
+// Histogram geometry: log-spaced buckets covering 100µs .. ~1000s of
+// per-sample preprocessing time, clamped at both ends.
+const (
+	histBuckets = 1024
+	histMinSec  = 100e-6
+	histMaxSec  = 1000.0
+)
+
+var (
+	histPerOctave = float64(histBuckets) / math.Log2(histMaxSec/histMinSec)
+	// histBounds[i] is the lower bound of bucket i; histBounds[histBuckets]
+	// closes the last bucket.
+	histBounds = func() [histBuckets + 1]float64 {
+		var b [histBuckets + 1]float64
+		for i := range b {
+			b[i] = histMinSec * math.Exp2(float64(i)/histPerOctave)
+		}
+		return b
+	}()
+)
+
+func histBucket(sec float64) int {
+	if sec <= histMinSec {
+		return 0
+	}
+	b := int(math.Log2(sec/histMinSec) * histPerOctave)
+	if b >= histBuckets {
+		return histBuckets - 1
+	}
+	return b
 }
 
 // NewProfiler returns a profiler with defaults filled in.
@@ -62,22 +101,30 @@ func NewProfiler(cfg ProfilerConfig) *Profiler {
 	if cfg.RecomputeEvery <= 0 {
 		cfg.RecomputeEvery = 32
 	}
-	p := &Profiler{cfg: cfg, window: make([]float64, 0, cfg.WindowSize)}
+	p := &Profiler{
+		cfg:    cfg,
+		ring:   make([]uint16, cfg.WindowSize),
+		counts: make([]int32, histBuckets),
+	}
 	p.timeoutNs.Store(math.MaxInt64)
 	return p
 }
 
-// Record adds one observed total preprocessing time.
+// Record adds one observed total preprocessing time: one bucket increment,
+// and one decrement for the record sliding out of the window.
 func (p *Profiler) Record(cost time.Duration) {
+	b := uint16(histBucket(cost.Seconds()))
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if len(p.window) < p.cfg.WindowSize {
-		p.window = append(p.window, cost.Seconds())
+	if p.n < p.cfg.WindowSize {
+		p.ring[p.n] = b
+		p.n++
 	} else {
-		p.window[p.idx] = cost.Seconds()
+		p.counts[p.ring[p.idx]]--
+		p.ring[p.idx] = b
 		p.idx = (p.idx + 1) % p.cfg.WindowSize
-		p.filled = true
 	}
+	p.counts[b]++
 	p.records++
 	if p.records >= p.cfg.WarmupSamples && p.records%p.cfg.RecomputeEvery == 0 {
 		p.recomputeLocked()
@@ -105,19 +152,34 @@ func (p *Profiler) Classified(slow bool) {
 }
 
 func (p *Profiler) recomputeLocked() {
-	vals := make([]float64, len(p.window))
-	copy(vals, p.window)
-	sort.Float64s(vals)
+	if p.n == 0 {
+		return
+	}
 	pct := p.cfg.TimeoutPercentile
 	if p.fellBack {
 		pct = p.cfg.FallbackPercentile
 	}
-	pos := pct * float64(len(vals)-1)
-	lo := int(pos)
-	v := vals[lo]
-	if lo+1 < len(vals) {
-		frac := pos - float64(lo)
-		v = v*(1-frac) + vals[lo+1]*frac
+	// Walk the histogram to the bucket containing the fractional rank, then
+	// interpolate linearly inside it.
+	rank := pct * float64(p.n-1)
+	cum := 0
+	v := histBounds[histBuckets]
+	for b, c := range p.counts {
+		if c == 0 {
+			continue
+		}
+		if float64(cum)+float64(c)-1 >= rank {
+			within := (rank - float64(cum) + 0.5) / float64(c)
+			if within < 0 {
+				within = 0
+			}
+			if within > 1 {
+				within = 1
+			}
+			v = histBounds[b] + (histBounds[b+1]-histBounds[b])*within
+			break
+		}
+		cum += int(c)
 	}
 	p.timeoutNs.Store(int64(v * float64(time.Second)))
 }

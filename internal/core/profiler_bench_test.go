@@ -1,0 +1,86 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+import "testing"
+
+// syntheticCosts mimics the bimodal speech distribution: 80% light samples
+// around 0.5s, 20% heavy around 3s, with deterministic jitter.
+func syntheticCosts(n int) []time.Duration {
+	out := make([]time.Duration, n)
+	for i := range out {
+		jitter := 0.7 + 0.6*float64(i%97)/96.0
+		base := 0.5
+		if i%5 == 0 {
+			base = 3.0
+		}
+		out[i] = time.Duration(base * jitter * float64(time.Second))
+	}
+	return out
+}
+
+// BenchmarkProfilerRecord measures the shipping path: O(1) histogram updates
+// with an O(buckets) percentile walk every RecomputeEvery records.
+func BenchmarkProfilerRecord(b *testing.B) {
+	costs := syntheticCosts(4096)
+	p := NewProfiler(ProfilerConfig{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Record(costs[i%len(costs)])
+	}
+}
+
+// sortingProfiler reimplements the pre-histogram design — a float window
+// copied and fully sorted on every recompute — as the benchmark baseline.
+type sortingProfiler struct {
+	window         []float64
+	idx            int
+	records        int
+	warmup, every  int
+	pct            float64
+	cap            int
+	timeoutSeconds float64
+}
+
+func (p *sortingProfiler) record(cost time.Duration) {
+	if len(p.window) < p.cap {
+		p.window = append(p.window, cost.Seconds())
+	} else {
+		p.window[p.idx] = cost.Seconds()
+		p.idx = (p.idx + 1) % p.cap
+	}
+	p.records++
+	if p.records >= p.warmup && p.records%p.every == 0 {
+		vals := make([]float64, len(p.window))
+		copy(vals, p.window)
+		sort.Float64s(vals)
+		pos := p.pct * float64(len(vals)-1)
+		lo := int(pos)
+		v := vals[lo]
+		if lo+1 < len(vals) {
+			frac := pos - float64(lo)
+			v = v*(1-frac) + vals[lo+1]*frac
+		}
+		p.timeoutSeconds = v
+	}
+}
+
+// BenchmarkProfilerRecordSortBaseline measures the replaced design for
+// comparison; run both with -benchmem to see the allocation difference too.
+func BenchmarkProfilerRecordSortBaseline(b *testing.B) {
+	costs := syntheticCosts(4096)
+	p := &sortingProfiler{warmup: 48, every: 32, pct: 0.75, cap: 2048}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.record(costs[i%len(costs)])
+	}
+	if p.timeoutSeconds > 0 && math.IsNaN(p.timeoutSeconds) {
+		b.Fatal("unreachable; keeps the result live")
+	}
+}

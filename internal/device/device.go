@@ -37,6 +37,10 @@ type Device struct {
 	entries map[*entry]struct{}
 	rate    float64 // current per-task progress rate
 
+	// pool recycles entries (and their selectors) across Run calls: the
+	// occupancy fast path allocates nothing in steady state.
+	pool sync.Pool
+
 	// busyIntegral accumulates ∫ min(k, cap) dt in unit-seconds: the total
 	// amount of work the device has performed. Utilization over a window is
 	// Δbusy / (cap · Δt).
@@ -48,7 +52,7 @@ type entry struct {
 	remaining float64 // seconds of work at full rate
 	rate      float64 // rate while parked
 	parkedAt  time.Duration
-	w         *simtime.Waiter
+	sel       *simtime.Selector
 }
 
 // New returns a device with the given parallel capacity (must be positive).
@@ -87,7 +91,11 @@ func (d *Device) Run(ctx context.Context, work time.Duration) error {
 	if work <= 0 {
 		return nil
 	}
-	e := &entry{remaining: work.Seconds()}
+	e, _ := d.pool.Get().(*entry)
+	if e == nil {
+		e = &entry{sel: simtime.NewSelector(d.rt)}
+	}
+	e.remaining = work.Seconds()
 	d.mu.Lock()
 	d.accountLocked()
 	d.entries[e] = struct{}{}
@@ -97,37 +105,26 @@ func (d *Device) Run(ctx context.Context, work time.Duration) error {
 		e.rate = d.rate
 		e.parkedAt = d.rt.Now()
 		eta := time.Duration(e.remaining/e.rate*float64(time.Second)) + time.Nanosecond
-		w := d.rt.NewWaiter()
-		e.w = w
+		// Reset under d.mu: rebalance wakes (TryWake) are attributed to this
+		// cycle from here on. The deadline park replaces the old per-park
+		// alarm goroutine; rate changes still wake the task early.
+		e.sel.Reset()
 		d.mu.Unlock()
 
-		// Completion alarm. Rate changes wake the task early via e.w, in
-		// which case the stale alarm fires harmlessly later (Wake on a
-		// woken waiter is a no-op).
-		d.rt.Go(d.name+"-alarm", func() {
-			_ = d.rt.Sleep(context.Background(), eta)
-			w.Wake()
-		})
-
-		err := w.Wait(ctx)
+		_, err := e.sel.Wait(ctx, eta)
 		d.mu.Lock()
 		now := d.rt.Now()
 		e.remaining -= (now - e.parkedAt).Seconds() * e.rate
-		if err != nil {
+		if err != nil || e.remaining <= 1e-9 {
 			d.accountLocked()
 			delete(d.entries, e)
 			d.rebalanceLocked()
 			d.mu.Unlock()
+			d.pool.Put(e)
 			return err
 		}
-		if e.remaining <= 1e-9 {
-			d.accountLocked()
-			delete(d.entries, e)
-			d.rebalanceLocked()
-			d.mu.Unlock()
-			return nil
-		}
-		// Spurious or rate-change wake: loop with updated remaining work.
+		// Deadline recomputation or rate-change wake: loop with updated
+		// remaining work.
 	}
 }
 
@@ -144,9 +141,7 @@ func (d *Device) rebalanceLocked() {
 	}
 	d.rate = newRate
 	for e := range d.entries {
-		if e.w != nil {
-			e.w.Wake()
-		}
+		e.sel.TryWake(0)
 	}
 }
 

@@ -133,6 +133,12 @@ func NewIndexSource(env *Env, spec Spec, capacity int) *IndexSource {
 // Out returns the index queue.
 func (is *IndexSource) Out() *queue.Queue[IndexItem] { return is.out }
 
+// Ready exposes the index stream as a wake source for event-driven
+// consumers: it fires when an index item is available or the stream has
+// closed. Loaders arm a simtime.Selector on it (together with their other
+// queues) instead of sleep-polling TryGet.
+func (is *IndexSource) Ready() simtime.Source { return is.out }
+
 // Start launches the generator task.
 func (is *IndexSource) Start(ctx context.Context) {
 	is.env.WG.Go("index-source", func() {

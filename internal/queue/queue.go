@@ -29,8 +29,8 @@ type Queue[T any] struct {
 	mu         sync.Mutex
 	buf        []T
 	closed     bool
-	getWaiters []*simtime.Waiter
-	putWaiters []*simtime.Waiter
+	getWaiters []waiterEntry
+	putWaiters []waiterEntry
 
 	// stats
 	puts, gets   int64
@@ -96,7 +96,7 @@ func (q *Queue[T]) Put(ctx context.Context, v T) error {
 			return nil
 		}
 		w := q.rt.NewWaiter()
-		q.putWaiters = append(q.putWaiters, w)
+		q.putWaiters = append(q.putWaiters, waiterEntry{w: w})
 		q.mu.Unlock()
 		if err := w.Wait(ctx); err != nil {
 			q.mu.Lock()
@@ -150,7 +150,7 @@ func (q *Queue[T]) Get(ctx context.Context) (T, error) {
 			return zero, ErrClosed
 		}
 		w := q.rt.NewWaiter()
-		q.getWaiters = append(q.getWaiters, w)
+		q.getWaiters = append(q.getWaiters, waiterEntry{w: w})
 		q.mu.Unlock()
 		if err := w.Wait(ctx); err != nil {
 			q.mu.Lock()
@@ -205,32 +205,88 @@ func (q *Queue[T]) Close() {
 	gets, puts := q.getWaiters, q.putWaiters
 	q.getWaiters, q.putWaiters = nil, nil
 	q.mu.Unlock()
-	for _, w := range gets {
-		w.Wake()
+	for _, e := range gets {
+		e.wake()
 	}
-	for _, w := range puts {
-		w.Wake()
+	for _, e := range puts {
+		e.wake()
 	}
 }
 
-func (q *Queue[T]) wakeOneLocked(list *[]*simtime.Waiter) {
+// waiterEntry is one parked consumer or producer: either a one-shot Waiter
+// (blocking Get/Put) or a Selector subscription (Arm) with its result index.
+type waiterEntry struct {
+	w   *simtime.Waiter
+	sel *simtime.Selector
+	idx int
+}
+
+// wake delivers the wakeup. A false return means the entry could not accept
+// it (a Selector already claimed by another source), so the caller must pass
+// the wakeup to the next waiter instead of dropping it.
+func (e waiterEntry) wake() bool {
+	if e.w != nil {
+		return e.w.Wake()
+	}
+	return e.sel.TryWake(e.idx)
+}
+
+func (q *Queue[T]) wakeOneLocked(list *[]waiterEntry) {
 	for len(*list) > 0 {
-		w := (*list)[0]
+		e := (*list)[0]
 		*list = (*list)[1:]
-		if w.Wake() {
+		if e.wake() {
 			return
 		}
 	}
 }
 
-func (q *Queue[T]) removeWaiterLocked(list *[]*simtime.Waiter, w *simtime.Waiter) {
-	for i, x := range *list {
-		if x == w {
+func (q *Queue[T]) removeWaiterLocked(list *[]waiterEntry, w *simtime.Waiter) {
+	for i, e := range *list {
+		if e.w == w {
 			*list = append((*list)[:i], (*list)[i+1:]...)
 			return
 		}
 	}
 }
+
+// Arm implements simtime.Source: it registers sel for a wakeup when the
+// queue becomes readable (an item arrives or the queue closes). If the queue
+// is already readable, sel is woken immediately and not registered.
+func (q *Queue[T]) Arm(sel *simtime.Selector, idx int) bool {
+	q.mu.Lock()
+	if len(q.buf) > 0 || q.closed {
+		q.mu.Unlock()
+		sel.TryWake(idx)
+		return true
+	}
+	q.getWaiters = append(q.getWaiters, waiterEntry{sel: sel, idx: idx})
+	q.mu.Unlock()
+	return false
+}
+
+// Disarm implements simtime.Source.
+func (q *Queue[T]) Disarm(sel *simtime.Selector) {
+	q.mu.Lock()
+	for i, e := range q.getWaiters {
+		if e.sel == sel {
+			q.getWaiters = append(q.getWaiters[:i], q.getWaiters[i+1:]...)
+			break
+		}
+	}
+	q.mu.Unlock()
+}
+
+// WaitAny blocks until one of the sources is ready — for queues, readable or
+// closed — and returns the index of the source that fired (Heartbeat when
+// the heartbeat expired first; pass 0 to disable it). It allocates a
+// throwaway Selector, so it is a convenience for occasional waits; hot loops
+// should hold a Selector and call Select on it directly.
+func WaitAny(ctx context.Context, rt simtime.Runtime, heartbeat time.Duration, sources ...simtime.Source) (int, error) {
+	return simtime.NewSelector(rt).Select(ctx, heartbeat, sources...)
+}
+
+var _ simtime.Source = (*Queue[int])(nil)
 
 // Stats is a snapshot of queue activity.
 type Stats struct {

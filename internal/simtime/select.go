@@ -1,0 +1,338 @@
+package simtime
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file implements the event-driven wait fabric: a Selector parks a task
+// until one of several wake sources fires, replacing sleep-poll loops in the
+// data path. Under Virtual the first source to fire in virtual time claims
+// the selector, which makes wake ordering deterministic; readiness at arm
+// time is checked in source order, so callers encode priorities (fast queue
+// before slow queue) by argument position.
+
+// Heartbeat is returned by Selector.Wait/Select when the wait ended because
+// the deadline (the fallback heartbeat) expired rather than a source firing.
+const Heartbeat = -1
+
+// Source is a wake source a Selector can be armed on. Queues, gates, and
+// other blocking structures implement it.
+//
+// Arm registers s for a single wakeup with the given result index. If the
+// source is already ready, implementations call s.TryWake(idx) instead of
+// registering and return true so the caller stops arming further sources.
+// Disarm removes a registration; it must be a no-op when s is not
+// registered (already woken and popped, or never added).
+type Source interface {
+	Arm(s *Selector, idx int) bool
+	Disarm(s *Selector)
+}
+
+// Selector is a reusable multi-source wait primitive: the runtime-aware
+// analogue of a select statement over wake sources. One goroutine owns a
+// Selector; each cycle it Resets, arms the selector on its sources, and
+// parks in Wait. The first TryWake claims the cycle — later TryWake calls
+// return false so the caller passes the wakeup to another waiter instead of
+// losing it.
+//
+// Under Virtual, a positive deadline parks the task on a kernel timer, so
+// timeouts are deterministic virtual-time events. Under Real (and any other
+// nondeterministic runtime) the deadline is a wall-clock timer scaled like
+// Real.Sleep.
+type Selector struct {
+	k     *Virtual // nil on nondeterministic runtimes
+	scale float64  // wall-clock compression for deadline waits when k == nil
+
+	ch chan int
+	// state transitions are guarded by k.mu under Virtual (so wake credit
+	// accounting is atomic with the claim) and by CAS alone under Real.
+	state  atomic.Int32
+	parked bool   // guarded by k.mu
+	t      *timer // armed deadline; guarded by k.mu
+}
+
+const (
+	selIdle int32 = iota
+	selArmed
+	selWoken
+	selExpired
+)
+
+// NewSelector returns a selector bound to rt.
+func NewSelector(rt Runtime) *Selector {
+	s := &Selector{ch: make(chan int, 1), scale: 1}
+	switch r := rt.(type) {
+	case *Virtual:
+		s.k = r
+	case *Real:
+		s.scale = r.scale
+	}
+	return s
+}
+
+// Deterministic reports whether rt is the deterministic virtual kernel. The
+// loader hot paths use it to decide whether the fallback heartbeat is worth
+// arming: under Virtual a lost wakeup surfaces as a loud kernel deadlock, so
+// the heartbeat would only add events; under a wall-clock runtime it is the
+// recovery mechanism for a silent hang.
+func Deterministic(rt Runtime) bool {
+	_, ok := rt.(*Virtual)
+	return ok
+}
+
+// Reset begins a new wait cycle, discarding a wake delivered since the last
+// Wait returned (a waker may claim the selector while its owner is between
+// cycles — e.g. a device rate change right as the entry is inserted; the
+// owner re-checks its condition before waiting, so the wake's information is
+// not lost). Callers that publish the selector to wakers through their own
+// lock (as Device does) must Reset under that lock so wakes are serialized
+// against the cycle boundary.
+//
+// The drain must happen BEFORE the state store. Gate.Pulse and Queue.Close
+// deliver TryWake outside their locks from a snapshot taken after the
+// subscription was deregistered, so a delayed waker is not serialized with
+// this reset. Draining first means such a waker is either refused (stale
+// pre-reset state) or claims the fresh cycle with its send intact; with the
+// opposite order it could claim the fresh cycle and have its send eaten,
+// leaving state woken with an empty channel — the next Wait would block
+// forever.
+func (s *Selector) Reset() {
+	select {
+	case <-s.ch:
+	default:
+	}
+	s.state.Store(selIdle)
+}
+
+// TryWake claims the selector's current cycle and delivers idx as the wait
+// result. It reports whether the wakeup was delivered: false means another
+// source (or a timeout/cancellation) already claimed the cycle, so the
+// caller should wake someone else instead.
+func (s *Selector) TryWake(idx int) bool {
+	if s.k != nil {
+		k := s.k
+		k.mu.Lock()
+		if st := s.state.Load(); st != selIdle && st != selArmed {
+			k.mu.Unlock()
+			return false
+		}
+		s.state.Store(selWoken)
+		if s.parked {
+			s.parked = false
+			if s.t != nil {
+				s.t.dead = true
+				s.t = nil
+			}
+			k.runnable++
+		}
+		k.mu.Unlock()
+		s.ch <- idx
+		return true
+	}
+	for {
+		st := s.state.Load()
+		if st != selIdle && st != selArmed {
+			return false
+		}
+		if s.state.CompareAndSwap(st, selWoken) {
+			s.ch <- idx
+			return true
+		}
+	}
+}
+
+// fireSelectorLocked delivers a deadline expiry to t.sel. Called with k.mu
+// held from the advance loop; a dead timer never reaches here, so the cycle
+// is necessarily still armed.
+func (k *Virtual) fireSelectorLocked(t *timer) {
+	s := t.sel
+	if st := s.state.Load(); st != selIdle && st != selArmed {
+		// Unreachable by construction (claims mark the timer dead under
+		// k.mu), but kept as a safe fallback: the claimer owns the cleanup.
+		return
+	}
+	s.state.Store(selWoken)
+	s.parked = false
+	s.t = nil
+	t.fired = true
+	k.runnable++
+	s.ch <- Heartbeat
+	// The owner never saw this timer; the kernel recycles it.
+	putTimer(t)
+}
+
+// Wait parks the calling task until TryWake, the deadline (if positive), or
+// ctx cancellation. It returns the index passed to TryWake, or Heartbeat
+// when the deadline expired. The caller must have Reset the selector for
+// this cycle; sources armed for the cycle must be disarmed by the caller
+// afterwards (Select does both).
+func (s *Selector) Wait(ctx context.Context, deadline time.Duration) (int, error) {
+	if s.k != nil {
+		return s.waitVirtual(ctx, deadline)
+	}
+	if !s.state.CompareAndSwap(selIdle, selArmed) {
+		if s.state.Load() == selWoken {
+			return <-s.ch, nil
+		}
+		return 0, fmt.Errorf("simtime: Selector.Wait without Reset")
+	}
+	var timerC <-chan time.Time
+	if deadline > 0 {
+		tm := time.NewTimer(time.Duration(float64(deadline) / s.scale))
+		defer tm.Stop()
+		timerC = tm.C
+	}
+	select {
+	case idx := <-s.ch:
+		return idx, nil
+	case <-timerC:
+		if s.state.CompareAndSwap(selArmed, selExpired) {
+			return Heartbeat, nil
+		}
+		return <-s.ch, nil // a wake won the race; deliver it
+	case <-ctx.Done():
+		if s.state.CompareAndSwap(selArmed, selExpired) {
+			return 0, ctx.Err()
+		}
+		return <-s.ch, nil
+	}
+}
+
+func (s *Selector) waitVirtual(ctx context.Context, deadline time.Duration) (int, error) {
+	k := s.k
+	k.mu.Lock()
+	switch s.state.Load() {
+	case selWoken:
+		k.mu.Unlock()
+		return <-s.ch, nil
+	case selIdle:
+		s.state.Store(selArmed)
+		s.parked = true
+		if deadline > 0 {
+			t := getTimer()
+			t.sel = s
+			k.scheduleLocked(t, k.now+deadline)
+			s.t = t
+		}
+		k.runnable--
+		k.maybeAdvanceLocked()
+		k.mu.Unlock()
+	default:
+		k.mu.Unlock()
+		return 0, fmt.Errorf("simtime: Selector.Wait without Reset")
+	}
+	select {
+	case idx := <-s.ch:
+		return idx, nil
+	case <-ctx.Done():
+		k.mu.Lock()
+		if s.state.Load() == selWoken {
+			// A wake (or the deadline) raced cancellation and won; deliver
+			// it so the wakeup is not lost.
+			k.mu.Unlock()
+			return <-s.ch, nil
+		}
+		s.state.Store(selExpired)
+		if s.parked {
+			s.parked = false
+			if s.t != nil {
+				s.t.dead = true
+				s.t = nil
+			}
+			k.runnable++
+		}
+		k.mu.Unlock()
+		return 0, ctx.Err()
+	}
+}
+
+// Select arms the selector on each source in order, parks until one fires
+// (or the heartbeat expires, or ctx is cancelled), then disarms. It returns
+// the index of the source that fired, or Heartbeat. Readiness is checked in
+// argument order at arm time, so earlier sources take priority when several
+// are ready — deterministic under Virtual.
+func (s *Selector) Select(ctx context.Context, heartbeat time.Duration, sources ...Source) (int, error) {
+	s.Reset()
+	armed := len(sources)
+	for i, src := range sources {
+		if src.Arm(s, i) {
+			armed = i + 1
+			break
+		}
+	}
+	idx, err := s.Wait(ctx, heartbeat)
+	for _, src := range sources[:armed] {
+		src.Disarm(s)
+	}
+	return idx, err
+}
+
+// Gate is a broadcast wake source for condition changes that are not queue
+// operations (accounting flips, shutdown). Pulse wakes every armed selector.
+// It is level-correct across the check-then-arm race: each Pulse advances a
+// version, and Arm fires immediately when a pulse happened since the
+// selector last armed — so "check condition, arm gate, park" never misses a
+// pulse delivered between the check and the arm.
+type Gate struct {
+	mu      sync.Mutex
+	version uint64
+	seen    map[*Selector]uint64
+	subs    []gateSub
+}
+
+type gateSub struct {
+	sel *Selector
+	idx int
+}
+
+// NewGate returns an empty gate.
+func NewGate() *Gate {
+	return &Gate{seen: make(map[*Selector]uint64)}
+}
+
+// Pulse wakes every armed selector and advances the gate version.
+func (g *Gate) Pulse() {
+	g.mu.Lock()
+	g.version++
+	subs := g.subs
+	g.subs = nil
+	for _, e := range subs {
+		g.seen[e.sel] = g.version
+	}
+	g.mu.Unlock()
+	for _, e := range subs {
+		e.sel.TryWake(e.idx)
+	}
+}
+
+// Arm implements Source.
+func (g *Gate) Arm(s *Selector, idx int) bool {
+	g.mu.Lock()
+	if g.seen[s] != g.version {
+		g.seen[s] = g.version
+		g.mu.Unlock()
+		s.TryWake(idx)
+		return true
+	}
+	g.subs = append(g.subs, gateSub{sel: s, idx: idx})
+	g.mu.Unlock()
+	return false
+}
+
+// Disarm implements Source.
+func (g *Gate) Disarm(s *Selector) {
+	g.mu.Lock()
+	for i, e := range g.subs {
+		if e.sel == s {
+			g.subs = append(g.subs[:i], g.subs[i+1:]...)
+			break
+		}
+	}
+	g.mu.Unlock()
+}
+
+var _ Source = (*Gate)(nil)

@@ -10,10 +10,10 @@
 // actual application.
 //
 // The contract for tasks running under Virtual: any blocking must happen via
-// Sleep, Waiter.Wait, or WaitGroup.Wait. Blocking on ordinary Go primitives
-// (unbuffered channels, sync.WaitGroup, ...) from a tracked task stalls the
-// kernel, because the kernel believes the task is runnable and refuses to
-// advance time.
+// Sleep, Waiter.Wait, Selector.Wait/Select, or WaitGroup.Wait. Blocking on
+// ordinary Go primitives (unbuffered channels, sync.WaitGroup, ...) from a
+// tracked task stalls the kernel, because the kernel believes the task is
+// runnable and refuses to advance time.
 //
 // Context cancellation under Virtual is best-effort: a cancelled Sleep or
 // Wait returns promptly in wall time, but the kernel may have advanced
@@ -150,13 +150,19 @@ type Virtual struct {
 	runnable int
 	tasks    int
 	timers   timerHeap
-	seq      int64
-	idle     chan struct{} // closed when tasks hits zero; replaced on Go
+	// byDeadline maps a pending deadline to its heap node, so timers sharing
+	// a deadline chain off a single node: scheduling them is O(1) and firing
+	// them needs one heap pop for the whole batch.
+	byDeadline map[time.Duration]*timer
+	idle       chan struct{} // closed when tasks hits zero; replaced on Go
 }
 
 // NewVirtual returns a virtual runtime starting at time zero.
 func NewVirtual() *Virtual {
-	return &Virtual{idle: closedChan()}
+	return &Virtual{
+		idle:       closedChan(),
+		byDeadline: make(map[time.Duration]*timer),
+	}
 }
 
 func closedChan() chan struct{} {
@@ -237,28 +243,51 @@ func (k *Virtual) Sleep(ctx context.Context, d time.Duration) error {
 	if d <= 0 {
 		return nil
 	}
-	t := &timer{ch: make(chan struct{})}
+	t := getTimer()
 	k.mu.Lock()
-	t.deadline = k.now + d
-	k.seq++
-	t.seq = k.seq
-	heap.Push(&k.timers, t)
+	k.scheduleLocked(t, k.now+d)
 	k.runnable--
 	k.maybeAdvanceLocked()
 	k.mu.Unlock()
 
 	select {
 	case <-t.ch:
+		putTimer(t)
 		return nil
 	case <-ctx.Done():
 		k.mu.Lock()
 		if !t.fired {
+			// The kernel still owns the timer; it is discarded (and pooled)
+			// when its deadline is reached.
 			t.dead = true
 			k.runnable++
+			k.mu.Unlock()
+			return ctx.Err()
 		}
 		k.mu.Unlock()
+		// Fired concurrently with cancellation: consume the wake so the
+		// timer is fully settled, then recycle it.
+		<-t.ch
+		putTimer(t)
 		return ctx.Err()
 	}
+}
+
+// scheduleLocked registers t to fire at the given deadline. Timers sharing a
+// deadline chain off the first one scheduled (the only one in the heap), in
+// FIFO order, so same-deadline batches cost one heap operation total.
+func (k *Virtual) scheduleLocked(t *timer, deadline time.Duration) {
+	t.deadline = deadline
+	if head, ok := k.byDeadline[deadline]; ok {
+		if head.tail == nil {
+			head.next, head.tail = t, t
+		} else {
+			head.tail.next, head.tail = t, t
+		}
+		return
+	}
+	heap.Push(&k.timers, t)
+	k.byDeadline[deadline] = t
 }
 
 // NewWaiter returns a kernel-aware parking primitive.
@@ -284,10 +313,6 @@ func (k *Virtual) unparked() {
 func (k *Virtual) maybeAdvanceLocked() {
 	stallPolls := 0
 	for k.runnable == 0 && k.tasks > 0 {
-		// Discard timers abandoned by cancelled sleeps.
-		for len(k.timers) > 0 && k.timers[0].dead {
-			heap.Pop(&k.timers)
-		}
 		if len(k.timers) == 0 {
 			// No task is runnable and nothing is scheduled to wake one.
 			// This is either a genuine deadlock or a transient window:
@@ -307,16 +332,37 @@ func (k *Virtual) maybeAdvanceLocked() {
 				k.now, k.tasks))
 		}
 		stallPolls = 0
-		deadline := k.timers[0].deadline
-		k.now = deadline
-		for len(k.timers) > 0 && (k.timers[0].dead || k.timers[0].deadline == deadline) {
-			t := heap.Pop(&k.timers).(*timer)
-			if t.dead {
-				continue
+		head := heap.Pop(&k.timers).(*timer)
+		delete(k.byDeadline, head.deadline)
+		// Advance time only when the batch has a live timer, so deadlines
+		// abandoned by cancelled sleeps never move the clock.
+		live := false
+		for t := head; t != nil; t = t.next {
+			if !t.dead {
+				live = true
+				break
 			}
-			t.fired = true
-			k.runnable++
-			close(t.ch)
+		}
+		if live {
+			k.now = head.deadline
+		}
+		for t := head; t != nil; {
+			next := t.next
+			switch {
+			case t.dead:
+				// Abandoned by a cancelled sleep or a claimed selector; the
+				// kernel is its last owner.
+				putTimer(t)
+			case t.sel != nil:
+				k.fireSelectorLocked(t)
+			default:
+				t.fired = true
+				k.runnable++
+				// Buffered and drained exactly once per cycle, so the send
+				// cannot block. The sleeper owns t once the value lands.
+				t.ch <- struct{}{}
+			}
+			t = next
 		}
 	}
 }
@@ -329,34 +375,51 @@ const (
 	maxStallPolls     = 10000
 )
 
+// timer is a pending kernel deadline. ch is the wake channel for plain
+// sleeps; sel is set instead for selector deadline-parks (see select.go).
+// next/tail chain timers that share a deadline off the single heap node.
 type timer struct {
 	deadline time.Duration
-	seq      int64
 	ch       chan struct{}
+	sel      *Selector
 	fired    bool
 	dead     bool
-	index    int
+	next     *timer
+	tail     *timer
 }
 
+// timerPool recycles timers (and their wake channels) across sleeps: the
+// kernel fast path allocates nothing in steady state.
+var timerPool = sync.Pool{New: func() any {
+	return &timer{ch: make(chan struct{}, 1)}
+}}
+
+func getTimer() *timer {
+	t := timerPool.Get().(*timer)
+	t.fired, t.dead = false, false
+	t.sel = nil
+	t.next, t.tail = nil, nil
+	return t
+}
+
+func putTimer(t *timer) {
+	// Drop a stale wake left by the rare fire/cancel race so the next user
+	// of this timer does not wake instantly.
+	select {
+	case <-t.ch:
+	default:
+	}
+	timerPool.Put(t)
+}
+
+// timerHeap orders heap nodes by deadline. Deadlines are unique in the heap
+// (same-deadline timers chain off one node), so no tiebreak is needed.
 type timerHeap []*timer
 
-func (h timerHeap) Len() int { return len(h) }
-func (h timerHeap) Less(i, j int) bool {
-	if h[i].deadline != h[j].deadline {
-		return h[i].deadline < h[j].deadline
-	}
-	return h[i].seq < h[j].seq
-}
-func (h timerHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *timerHeap) Push(x any) {
-	t := x.(*timer)
-	t.index = len(*h)
-	*h = append(*h, t)
-}
+func (h timerHeap) Len() int           { return len(h) }
+func (h timerHeap) Less(i, j int) bool { return h[i].deadline < h[j].deadline }
+func (h timerHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *timerHeap) Push(x any)        { *h = append(*h, x.(*timer)) }
 func (h *timerHeap) Pop() any {
 	old := *h
 	n := len(old)

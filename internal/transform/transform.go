@@ -44,15 +44,35 @@ type Transform interface {
 // mid-transform; the sample's NextTransform records the resume point.
 var ErrInterrupted = errors.New("transform: interrupted by budget")
 
+// Validator is an optional Transform extension for rejecting samples before
+// compute is spent on them — the cost-model analogue of a decode or schema
+// failure on a corrupt sample. When a transform implements it, Validate runs
+// before the transform executes; a non-nil error aborts the sample's
+// preprocessing with that error (no panic). Loaders treat such failures as
+// per-sample faults: the sample is abandoned and counted, the worker keeps
+// serving.
+type Validator interface {
+	Validate(s *data.Sample) error
+}
+
 // Pipeline is an ordered list of transforms.
 type Pipeline struct {
 	name string
 	ts   []Transform
+	// vals[i] is ts[i]'s Validator, nil when not implemented — resolved at
+	// construction to keep the execution loop free of type assertions.
+	vals []Validator
 }
 
 // NewPipeline returns a pipeline with the given transforms.
 func NewPipeline(name string, ts ...Transform) *Pipeline {
-	return &Pipeline{name: name, ts: ts}
+	vals := make([]Validator, len(ts))
+	for i, t := range ts {
+		if v, ok := t.(Validator); ok {
+			vals[i] = v
+		}
+	}
+	return &Pipeline{name: name, ts: ts, vals: vals}
 }
 
 // Name returns the pipeline name.
@@ -98,6 +118,11 @@ func (p *Pipeline) run(ctx context.Context, exec Executor, s *data.Sample, budge
 	var spent time.Duration
 	for i := s.NextTransform; i < len(p.ts); i++ {
 		t := p.ts[i]
+		if v := p.vals[i]; v != nil {
+			if err := v.Validate(s); err != nil {
+				return spent, err
+			}
+		}
 		c := t.Cost(s)
 		if budget >= 0 && spent+c > budget {
 			// Partially apply: consume the remaining budget, then park the
@@ -129,7 +154,7 @@ func (p *Pipeline) run(ctx context.Context, exec Executor, s *data.Sample, budge
 // Reordered returns a new pipeline with the given transform order. The
 // transforms must be a permutation of the pipeline's own.
 func (p *Pipeline) Reordered(ts []Transform) *Pipeline {
-	return &Pipeline{name: p.name + "+reordered", ts: ts}
+	return NewPipeline(p.name+"+reordered", ts...)
 }
 
 // Classification of a transform's effect on data volume (Pecan §2.1).

@@ -1,0 +1,154 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// benchmark record, so every PR can commit a BENCH_<date>.json snapshot and
+// CI can diff perf against the previous baseline.
+//
+//	go test -run '^$' -bench . -benchmem ./... | go run ./scripts/benchjson -label post-PR -out BENCH_2026-07-29.json
+//
+// Standard units (ns/op, B/op, allocs/op) become top-level fields; anything
+// else (the experiment suite's speedup_x, samples/sec_wall, ...) lands under
+// "metrics".
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Record is the whole file.
+type Record struct {
+	Label      string            `json:"label,omitempty"`
+	Go         string            `json:"go,omitempty"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		label = flag.String("label", "", "free-form snapshot label (e.g. pre-PR, post-PR)")
+		out   = flag.String("out", "", "output path (default stdout)")
+	)
+	flag.Parse()
+
+	rec := Record{Label: *label, Go: runtime.Version(), Benchmarks: map[string]Result{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if name, res, ok := parseLine(sc.Text()); ok {
+			rec.Benchmarks[name] = res
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(rec.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
+		os.Exit(1)
+	}
+
+	buf, err := marshalStable(rec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(rec.Benchmarks), *out)
+}
+
+// parseLine handles `BenchmarkName-8  123  456 ns/op  7 B/op  1 allocs/op
+// 2.5 custom_metric` lines. Fields after the iteration count come in
+// value-unit pairs.
+func parseLine(line string) (string, Result, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return "", Result{}, false
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return "", Result{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i] // strip the GOMAXPROCS suffix
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return "", Result{}, false
+	}
+	res := Result{Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", Result{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			res.NsPerOp = v
+		case "B/op":
+			res.BytesPerOp = v
+		case "allocs/op":
+			res.AllocsPerOp = v
+		default:
+			if res.Metrics == nil {
+				res.Metrics = map[string]float64{}
+			}
+			res.Metrics[unit] = v
+		}
+	}
+	return name, res, true
+}
+
+// marshalStable renders the record with sorted benchmark names so committed
+// snapshots diff cleanly.
+func marshalStable(rec Record) ([]byte, error) {
+	names := make([]string, 0, len(rec.Benchmarks))
+	for n := range rec.Benchmarks {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteString("{\n")
+	if rec.Label != "" {
+		fmt.Fprintf(&b, "  %q: %q,\n", "label", rec.Label)
+	}
+	if rec.Go != "" {
+		fmt.Fprintf(&b, "  %q: %q,\n", "go", rec.Go)
+	}
+	b.WriteString("  \"benchmarks\": {\n")
+	for i, n := range names {
+		body, err := json.Marshal(rec.Benchmarks[n])
+		if err != nil {
+			return nil, err
+		}
+		comma := ","
+		if i == len(names)-1 {
+			comma = ""
+		}
+		fmt.Fprintf(&b, "    %q: %s%s\n", n, body, comma)
+	}
+	b.WriteString("  }\n}\n")
+	return []byte(b.String()), nil
+}
