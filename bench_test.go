@@ -10,6 +10,7 @@
 package minato
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -97,6 +98,35 @@ func BenchmarkLoaderSessionThroughput(b *testing.B) {
 		samples += rep.Samples
 	}
 	b.ReportMetric(float64(samples)/b.Elapsed().Seconds(), "samples/sec_wall")
+}
+
+// BenchmarkFleetSession is the scale-out tier: one Minato session feeding
+// 8, 32, and 64 simulated GPUs through per-GPU batch queues — the
+// configuration where queue contention, not preprocessing, decides
+// simulator throughput. Each GPU consumes a fixed number of batches so the
+// simulated work grows with the fleet; the reported metric is samples
+// processed per wall second.
+func BenchmarkFleetSession(b *testing.B) {
+	const batchesPerGPU = 25
+	for _, gpus := range []int{8, 32, 64} {
+		b.Run(fmt.Sprintf("gpus=%d", gpus), func(b *testing.B) {
+			cfg := ConfigA().WithGPUs(gpus)
+			w := workload.Speech(1, 3*time.Second).WithIterations(batchesPerGPU * gpus)
+			var samples int64
+			var gpuUtil float64
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rep, err := Simulate(cfg, w, MinatoFactory(), Params{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				samples += rep.Samples
+				gpuUtil = rep.AvgGPUUtil
+			}
+			b.ReportMetric(float64(samples)/b.Elapsed().Seconds(), "samples/sec_wall")
+			b.ReportMetric(gpuUtil, "gpu_util_pct")
+		})
+	}
 }
 
 // BenchmarkPipelineCostModel measures the pure cost-model path (no

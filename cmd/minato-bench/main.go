@@ -10,6 +10,7 @@
 //
 //	minato-bench -loader minato -workload speech-3s        # one session
 //	minato-bench -loader pytorch -workload img-seg -quick  # shortened
+//	minato-bench -fleet                 # scale-out tier: 8/32/64 GPUs
 //
 // Experiment IDs follow the paper: table1..table3, fig1b..fig12, e1 (the
 // artifact appendix run), and abl-* design ablations. Loader and workload
@@ -37,9 +38,14 @@ func main() {
 		out      = flag.String("out", "", "directory for CSV output (optional)")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		quick    = flag.Bool("quick", false, "shrink run lengths (CI mode)")
+		fleet    = flag.Bool("fleet", false, "run the multi-GPU scale-out tier (8/32/64 simulated GPUs)")
 		list     = flag.Bool("list", false, "list experiment IDs and registered names, then exit")
 	)
 	flag.Parse()
+
+	if *fleet {
+		os.Exit(runFleet(*loader, *workload, *seed, *quick))
+	}
 
 	if (*loader != "" || *workload != "") && !*list {
 		if *exp != "" {
@@ -122,5 +128,39 @@ func runSession(loader, workload string, seed uint64, quick bool) int {
 	fmt.Printf("%s × %s on %d GPUs: train %.1fs, %.1f MB/s, GPU %.1f%%, CPU %.1f%% (%s wall)\n",
 		rep.Workload, rep.Loader, rep.GPUs, rep.TrainTime.Seconds(), rep.Throughput(),
 		rep.AvgGPUUtil, rep.AvgCPUUtil, time.Since(start).Round(time.Millisecond))
+	return 0
+}
+
+// runFleet benchmarks the scale-out tier: one session per fleet size, each
+// GPU consuming a fixed batch budget, reporting simulator wall throughput —
+// the contention-scalability view that BenchmarkFleetSession tracks in CI.
+func runFleet(loader, workload string, seed uint64, quick bool) int {
+	if loader == "" {
+		loader = "minato"
+	}
+	if workload == "" {
+		workload = "speech-3s"
+	}
+	batchesPerGPU := 25
+	if quick {
+		batchesPerGPU = 10
+	}
+	for _, gpus := range []int{8, 32, 64} {
+		start := time.Now()
+		rep, err := minato.Train(workload,
+			minato.WithLoader(loader),
+			minato.WithSeed(seed),
+			minato.WithGPUs(gpus),
+			minato.WithIterations(batchesPerGPU*gpus),
+		)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		wall := time.Since(start)
+		fmt.Printf("fleet %2d GPUs × %s: %d samples in %s wall (%.0f samples/s), train %.1fs, GPU %.1f%%\n",
+			gpus, rep.Loader, rep.Samples, wall.Round(time.Millisecond),
+			float64(rep.Samples)/wall.Seconds(), rep.TrainTime.Seconds(), rep.AvgGPUUtil)
+	}
 	return 0
 }

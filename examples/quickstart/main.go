@@ -28,7 +28,7 @@ func (toyDataset) Len() int     { return 512 }
 func (toyDataset) Sample(epoch, i int) *minato.Sample {
 	return &minato.Sample{
 		Index: i, Epoch: epoch,
-		Key:      fmt.Sprintf("toy/%d", i),
+		Key:      minato.Key{Space: "toy", Index: int64(i)},
 		RawBytes: 1 << 20, Bytes: 1 << 20,
 		Features: minato.Features{Heavy: i%8 == 7},
 	}

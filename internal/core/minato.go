@@ -304,6 +304,11 @@ func (l *Loader) spawnWorker(ctx context.Context) {
 		sources := []simtime.Source{l.tempQ, l.idx.Ready()}
 		for {
 			if l.stopFlag.Load() || l.sched.shouldRetire(id) {
+				// This worker may have just claimed a wakeup for an item it
+				// will not consume; re-deliver so a parked peer picks it up
+				// instead of stranding it (on stop, Close wakes everyone).
+				l.tempQ.Kick()
+				l.idx.Out().Kick()
 				return
 			}
 			// Background completion first (slow-task work).
@@ -427,6 +432,7 @@ func (l *Loader) processNew(ctx context.Context, it loader.IndexItem) error {
 			return l.tempQ.Put(ctx, tempItem{s: s})
 		}
 		if err := l.spec.Pipeline.Apply(ctx, l.env.CPU, s); err != nil {
+			l.env.Pool.Put(s)
 			return err
 		}
 		s.PreprocEnd = l.env.RT.Now()
@@ -446,11 +452,14 @@ func (l *Loader) processNew(ctx context.Context, it loader.IndexItem) error {
 		s.MarkedSlow = true
 		l.profiler.Classified(true)
 		if l.cfg.RestartSlowFromScratch {
-			s = s.Clone() // ablation: discard partial progress
+			// Ablation: discard partial progress. The reset copy comes from
+			// the pool and the partially-processed instance goes back to it.
+			s = l.env.Pool.CloneReset(s)
 			s.MarkedSlow = true
 		}
 		return l.tempQ.Put(ctx, tempItem{s: s})
 	default:
+		l.env.Pool.Put(s)
 		return err
 	}
 }
@@ -461,6 +470,7 @@ func (l *Loader) finishSlow(ctx context.Context, s *data.Sample) error {
 	s.ResumedFrom = s.NextTransform
 	s.TimesResumed++
 	if err := l.spec.Pipeline.Apply(ctx, l.env.CPU, s); err != nil {
+		l.env.Pool.Put(s)
 		return err
 	}
 	s.PreprocEnd = l.env.RT.Now()
@@ -519,6 +529,7 @@ func (l *Loader) batchConstructor(ctx context.Context, g int) {
 			return
 		}
 		if err := out.Put(ctx, b); err != nil {
+			b.Release()
 			return
 		}
 	}
@@ -529,9 +540,12 @@ func (l *Loader) batchConstructor(ctx context.Context, g int) {
 // preserving Algorithm 1's priority: the scan order below runs anew after
 // every wakeup, whichever source fired.
 func (l *Loader) assemble(ctx context.Context, sel *simtime.Selector, sources []simtime.Source) (*data.Batch, bool) {
-	batch := make([]*data.Sample, 0, l.spec.BatchSize)
-	for len(batch) < l.spec.BatchSize {
+	// The batch (and the backing array for its samples) comes from the
+	// session pool; the consumer returns it with Batch.Release.
+	b := l.env.Pool.GetBatch(l.spec.BatchSize)
+	for len(b.Samples) < l.spec.BatchSize {
 		if l.stopFlag.Load() {
+			b.Release()
 			return nil, false
 		}
 		var s *data.Sample
@@ -546,11 +560,13 @@ func (l *Loader) assemble(ctx context.Context, sel *simtime.Selector, sources []
 			if l.drained() {
 				// Abnormal deficit (upstream failure): give up on the
 				// remaining partial batch rather than wait forever.
+				b.Release()
 				return nil, false
 			}
 			l.idleWaits.Add(1)
 			src, err := sel.Select(ctx, l.heartbeat, sources...)
 			if err != nil {
+				b.Release()
 				return nil, false
 			}
 			if src == simtime.Heartbeat {
@@ -564,16 +580,14 @@ func (l *Loader) assemble(ctx context.Context, sel *simtime.Selector, sources []
 			// empty queue must re-check drained().
 			l.gate.Pulse()
 		}
-		batch = append(batch, s)
+		b.Samples = append(b.Samples, s)
 	}
-	return &data.Batch{
-		Samples:   batch,
-		Seq:       l.batchSeq.Add(1) - 1,
-		CreatedAt: l.env.RT.Now(),
-		// §4.3: a CUDA prefetch stream moves batch i to GPU memory while
-		// batch i−1 trains, so delivered batches are resident.
-		Resident: true,
-	}, true
+	b.Seq = l.batchSeq.Add(1) - 1
+	b.CreatedAt = l.env.RT.Now()
+	// §4.3: a CUDA prefetch stream moves batch i to GPU memory while
+	// batch i−1 trains, so delivered batches are resident.
+	b.Resident = true
+	return b, true
 }
 
 // drained reports that no more samples will ever arrive: the index stream

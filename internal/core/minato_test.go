@@ -277,7 +277,7 @@ func TestPairedModalityPreserved(t *testing.T) {
 		batches := drainAll(context.Background(), t, l, 1)
 		for _, b := range batches[0] {
 			for _, s := range b.Samples {
-				if s.PairKey == "" {
+				if s.Pair.IsZero() {
 					t.Fatal("audio sample lost its paired transcript key")
 				}
 			}

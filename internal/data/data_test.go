@@ -7,7 +7,7 @@ import (
 
 func TestCloneResetsPreprocessingState(t *testing.T) {
 	s := &Sample{
-		Index: 3, Key: "k/3", RawBytes: 100, Bytes: 55,
+		Index: 3, Key: KeyOf("k", 3), RawBytes: 100, Bytes: 55,
 		NextTransform: 2, PreprocCost: time.Second,
 		Features: Features{Complexity: 0.5, Heavy: true},
 	}
@@ -15,7 +15,7 @@ func TestCloneResetsPreprocessingState(t *testing.T) {
 	if c.Bytes != 100 || c.NextTransform != 0 || c.PreprocCost != 0 {
 		t.Fatalf("clone state not reset: %+v", c)
 	}
-	if c.Index != 3 || c.Key != "k/3" || !c.Features.Heavy {
+	if c.Index != 3 || c.Key != KeyOf("k", 3) || !c.Features.Heavy {
 		t.Fatalf("clone lost identity: %+v", c)
 	}
 	c.Bytes = 1
@@ -42,7 +42,7 @@ func TestBatchAccessors(t *testing.T) {
 }
 
 func TestSampleString(t *testing.T) {
-	s := &Sample{Index: 7, Epoch: 2, Key: "d/7", RawBytes: 64 << 20}
+	s := &Sample{Index: 7, Epoch: 2, Key: KeyOf("d", 7), RawBytes: 64 << 20}
 	if got := s.String(); got == "" {
 		t.Fatal("empty String()")
 	}

@@ -1,0 +1,173 @@
+package data
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Sample ownership states (Sample.state, accessed atomically).
+const (
+	stateUntracked uint32 = iota // built outside any pool; lifecycle unchecked
+	stateLive                    // owned by a pipeline stage
+	stateFree                    // sitting in the pool awaiting reuse
+)
+
+// Pool recycles samples and batches through the data path so the steady
+// state allocates nothing: the index stream draws epoch instances from the
+// pool instead of the heap, and consumers return delivered batches with
+// Batch.Release once trained on.
+//
+// Ownership protocol: Get hands out a live sample owned by the caller;
+// ownership travels with the sample through queues and batches; Put (or
+// Batch.Release, which Puts every sample) ends it. The pool recognizes
+// misuse loudly: Put on a free sample panics (double release), and holders
+// that cache Generation can detect recycling with AssertOwned
+// (use-after-release). A nil *Pool is valid and degrades to plain heap
+// allocation with no lifecycle checks.
+//
+// Pools are safe for concurrent use. The backing freelists are global
+// sync.Pools, so recycled instances flow across sessions within a process —
+// a fresh Pool per session still reaches steady-state reuse immediately.
+type Pool struct {
+	gets     atomic.Int64 // samples handed out
+	reuses   atomic.Int64 // subset of gets served by recycling
+	puts     atomic.Int64 // samples returned
+	livePeak atomic.Int64 // high-water mark of outstanding samples
+}
+
+// NewPool returns an empty pool.
+func NewPool() *Pool { return &Pool{} }
+
+var samplePool = sync.Pool{New: func() any { return new(Sample) }}
+var batchPool = sync.Pool{New: func() any { return new(Batch) }}
+
+// Get returns a zeroed sample owned by the caller. On a nil pool it simply
+// allocates.
+func (p *Pool) Get() *Sample {
+	if p == nil {
+		return &Sample{}
+	}
+	s := samplePool.Get().(*Sample)
+	switch st := atomic.LoadUint32(&s.state); st {
+	case stateUntracked: // fresh allocation from the sync.Pool's New
+		atomic.StoreUint32(&s.state, stateLive)
+	case stateFree:
+		if !atomic.CompareAndSwapUint32(&s.state, stateFree, stateLive) {
+			panic("data: pool freelist handed out a sample that changed state")
+		}
+		p.reuses.Add(1)
+	default:
+		panic(fmt.Sprintf("data: pool freelist holds a live sample (%v)", s))
+	}
+	gen := s.gen
+	*s = Sample{}
+	s.state, s.gen = stateLive, gen
+	n := p.gets.Add(1) - p.puts.Load()
+	for {
+		cur := p.livePeak.Load()
+		if n <= cur || p.livePeak.CompareAndSwap(cur, n) {
+			break
+		}
+	}
+	return s
+}
+
+// Put returns a sample to the pool, ending the caller's ownership. Putting
+// a sample that is already free panics — that is a double release, and the
+// first releaser's recycled instance would otherwise be corrupted. Samples
+// built outside a pool (state untracked) and nil samples are ignored, as is
+// every Put on a nil pool.
+func (p *Pool) Put(s *Sample) {
+	if p == nil || s == nil {
+		return
+	}
+	switch st := atomic.LoadUint32(&s.state); st {
+	case stateUntracked:
+		return
+	case stateFree:
+		panic(fmt.Sprintf("data: double release of %v (generation %d)", s, s.gen))
+	case stateLive:
+		// gen advances before the state flips to free, so a holder that
+		// snapshotted the old generation fails AssertOwned either way.
+		s.gen++
+		if !atomic.CompareAndSwapUint32(&s.state, stateLive, stateFree) {
+			panic(fmt.Sprintf("data: concurrent double release of %v", s))
+		}
+		p.puts.Add(1)
+		samplePool.Put(s)
+	default:
+		panic(fmt.Sprintf("data: sample in impossible state %d", st))
+	}
+}
+
+// CloneReset returns a pooled copy of s with preprocessing state reset, as
+// if freshly loaded, and releases s — the restart-from-scratch ablation's
+// replacement for Clone, which leaked the original instance.
+func (p *Pool) CloneReset(s *Sample) *Sample {
+	c := p.Get()
+	c.CopyFrom(s)
+	c.Bytes = s.RawBytes
+	c.NextTransform = 0
+	c.PreprocCost = 0
+	p.Put(s)
+	return c
+}
+
+// Generation returns the sample's recycle count. A holder that must detect
+// use-after-release snapshots it at acquisition and checks with AssertOwned.
+func (s *Sample) Generation() uint32 { return s.gen }
+
+// AssertOwned panics when the sample has been released (or released and
+// recycled) since the holder snapshotted gen — the loud use-after-release
+// check of the pool lifecycle.
+func (s *Sample) AssertOwned(gen uint32) {
+	if atomic.LoadUint32(&s.state) != stateLive || s.gen != gen {
+		panic(fmt.Sprintf(
+			"data: use after release: sample %v is at generation %d/state %d, holder expected live generation %d",
+			s, s.gen, atomic.LoadUint32(&s.state), gen))
+	}
+}
+
+// GetBatch returns an empty batch bound to p whose Samples backing array
+// has at least the given capacity. On a nil pool it allocates a plain,
+// lifecycle-unchecked batch.
+func (p *Pool) GetBatch(capacity int) *Batch {
+	if p == nil {
+		return &Batch{Samples: make([]*Sample, 0, capacity)}
+	}
+	b := batchPool.Get().(*Batch)
+	samples := b.Samples
+	if cap(samples) < capacity {
+		samples = make([]*Sample, 0, capacity)
+	}
+	// Field-wise reset: the packed state is atomic and must transition to
+	// "next generation, live" rather than be clobbered by a struct copy.
+	b.Samples = samples[:0]
+	b.Seq, b.CreatedAt, b.Resident = 0, 0, false
+	b.pool = p
+	b.state.Store(uint64(uint32(b.state.Load()>>1)+1) << 1)
+	return b
+}
+
+// putBatch recycles a released batch, keeping its backing array.
+func (p *Pool) putBatch(b *Batch) { batchPool.Put(b) }
+
+// PoolStats is a snapshot of pool activity.
+type PoolStats struct {
+	Gets, Reuses, Puts int64
+	// LivePeak is the high-water mark of samples simultaneously outstanding
+	// — the pool's answer to "how much memory does the steady state need".
+	LivePeak int64
+}
+
+// Stats returns a snapshot of pool counters (zero for a nil pool).
+func (p *Pool) Stats() PoolStats {
+	if p == nil {
+		return PoolStats{}
+	}
+	return PoolStats{
+		Gets: p.gets.Load(), Reuses: p.reuses.Load(),
+		Puts: p.puts.Load(), LivePeak: p.livePeak.Load(),
+	}
+}

@@ -28,6 +28,25 @@ type Dataset interface {
 	Sample(epoch, i int) *data.Sample
 }
 
+// Filler is optionally implemented by datasets that can materialize a
+// sample into caller-provided storage — the allocation-free path pooled
+// loaders use. FillSample must set every field it would set on a fresh
+// Sample; the destination arrives zeroed.
+type Filler interface {
+	FillSample(epoch, i int, s *data.Sample)
+}
+
+// Fill materializes sample (epoch, i) of d into s, using the dataset's
+// in-place path when available and falling back to copying a freshly
+// allocated sample otherwise. s's pool identity is preserved either way.
+func Fill(d Dataset, epoch, i int, s *data.Sample) {
+	if f, ok := d.(Filler); ok {
+		f.FillSample(epoch, i, s)
+		return
+	}
+	s.CopyFrom(d.Sample(epoch, i))
+}
+
 // Streams used for per-index draws; each dataset also mixes in its own seed.
 const (
 	streamSize = iota + 1
@@ -38,12 +57,12 @@ const (
 // Synthetic is a dataset whose sample sizes come from a clamped
 // distribution.
 type Synthetic struct {
-	name    string
-	seed    uint64
-	n       int
-	sizeFn  func(seed uint64, i int) int64
-	pairFn  func(i int) string
-	heavyFn func(seed uint64, i int) bool
+	name      string
+	pairSpace string // paired-modality key namespace; "" = unpaired
+	seed      uint64
+	n         int
+	sizeFn    func(seed uint64, i int) int64
+	heavyFn   func(seed uint64, i int) bool
 }
 
 // Name implements Dataset.
@@ -54,28 +73,32 @@ func (d *Synthetic) Len() int { return d.n }
 
 // Sample implements Dataset.
 func (d *Synthetic) Sample(epoch, i int) *data.Sample {
+	s := &data.Sample{}
+	d.FillSample(epoch, i, s)
+	return s
+}
+
+// FillSample implements Filler: all per-sample properties are pure draws,
+// so materialization writes straight into s with no allocation.
+func (d *Synthetic) FillSample(epoch, i int, s *data.Sample) {
 	if i < 0 || i >= d.n {
 		panic(fmt.Sprintf("dataset %s: index %d out of range [0,%d)", d.name, i, d.n))
 	}
 	raw := d.sizeFn(d.seed, i)
-	s := &data.Sample{
-		Index:    i,
-		Epoch:    epoch,
-		Key:      fmt.Sprintf("%s/%d", d.name, i),
-		RawBytes: raw,
-		Bytes:    raw,
-		Features: data.Features{
-			Complexity:  dist.Uniform(d.seed, streamComplexity, uint64(i)),
-			AugmentDraw: dist.Uniform(d.seed, streamAugment, uint64(i)),
-		},
+	s.Index = i
+	s.Epoch = epoch
+	s.Key = data.Key{Space: d.name, Index: int64(i)}
+	s.RawBytes, s.Bytes = raw, raw
+	s.Features = data.Features{
+		Complexity:  dist.Uniform(d.seed, streamComplexity, uint64(i)),
+		AugmentDraw: dist.Uniform(d.seed, streamAugment, uint64(i)),
 	}
 	if d.heavyFn != nil {
 		s.Features.Heavy = d.heavyFn(d.seed, i)
 	}
-	if d.pairFn != nil {
-		s.PairKey = d.pairFn(i)
+	if d.pairSpace != "" {
+		s.Pair = data.Key{Space: d.pairSpace, Index: int64(i)}
 	}
-	return s
 }
 
 const (
@@ -148,7 +171,7 @@ func newLibriSpeechBase(seed uint64) *Synthetic {
 			return int64(mb * float64(mib))
 		},
 		// Audio–text pairs: each utterance carries its transcript (§6).
-		pairFn: func(i int) string { return fmt.Sprintf("librispeech/txt/%d", i) },
+		pairSpace: "librispeech/txt",
 	}
 }
 
@@ -169,10 +192,16 @@ type subset struct {
 func (s *subset) Name() string { return s.d.Name() }
 func (s *subset) Len() int     { return s.n }
 func (s *subset) Sample(epoch, i int) *data.Sample {
+	sm := &data.Sample{}
+	s.FillSample(epoch, i, sm)
+	return sm
+}
+
+func (s *subset) FillSample(epoch, i int, sm *data.Sample) {
 	if i < 0 || i >= s.n {
 		panic(fmt.Sprintf("dataset %s[:%d]: index %d out of range", s.d.Name(), s.n, i))
 	}
-	return s.d.Sample(epoch, i)
+	Fill(s.d, epoch, i, sm)
 }
 
 // Replicate enlarges a dataset by a factor, giving each replica a distinct
@@ -182,23 +211,32 @@ func Replicate(d Dataset, factor int) Dataset {
 	if factor <= 1 {
 		return d
 	}
-	return &replicated{d: d, factor: factor}
+	return &replicated{d: d, factor: factor,
+		name: fmt.Sprintf("%s-x%d", d.Name(), factor)}
 }
 
 type replicated struct {
 	d      Dataset
 	factor int
+	name   string
 }
 
-func (r *replicated) Name() string { return fmt.Sprintf("%s-x%d", r.d.Name(), r.factor) }
+func (r *replicated) Name() string { return r.name }
 func (r *replicated) Len() int     { return r.d.Len() * r.factor }
 func (r *replicated) Sample(epoch, i int) *data.Sample {
-	base := i % r.d.Len()
-	rep := i / r.d.Len()
-	s := r.d.Sample(epoch, base)
-	s.Index = i
-	s.Key = fmt.Sprintf("%s/rep%d/%d", r.d.Name(), rep, base)
+	s := &data.Sample{}
+	r.FillSample(epoch, i, s)
 	return s
+}
+
+// FillSample materializes the base sample and rekeys it into the replica
+// namespace: the replica-global index keeps every replica's storage key
+// distinct without formatting a string per draw.
+func (r *replicated) FillSample(epoch, i int, s *data.Sample) {
+	base := i % r.d.Len()
+	Fill(r.d, epoch, base, s)
+	s.Index = i
+	s.Key = data.Key{Space: r.name, Index: int64(i)}
 }
 
 // Shard returns the i-th of n strided shards of a dataset — the per-node
@@ -211,15 +249,17 @@ func Shard(d Dataset, i, n int) Dataset {
 	if i < 0 || i >= n {
 		panic(fmt.Sprintf("dataset: shard %d of %d out of range", i, n))
 	}
-	return &shard{d: d, i: i, n: n}
+	return &shard{d: d, i: i, n: n,
+		name: fmt.Sprintf("%s-shard%d/%d", d.Name(), i, n)}
 }
 
 type shard struct {
 	d    Dataset
 	i, n int
+	name string
 }
 
-func (s *shard) Name() string { return fmt.Sprintf("%s-shard%d/%d", s.d.Name(), s.i, s.n) }
+func (s *shard) Name() string { return s.name }
 func (s *shard) Len() int {
 	l := s.d.Len() / s.n
 	if s.i < s.d.Len()%s.n {
@@ -228,20 +268,27 @@ func (s *shard) Len() int {
 	return l
 }
 func (s *shard) Sample(epoch, i int) *data.Sample {
+	sm := &data.Sample{}
+	s.FillSample(epoch, i, sm)
+	return sm
+}
+
+func (s *shard) FillSample(epoch, i int, sm *data.Sample) {
 	if i < 0 || i >= s.Len() {
-		panic(fmt.Sprintf("dataset %s: index %d out of range", s.Name(), i))
+		panic(fmt.Sprintf("dataset %s: index %d out of range", s.name, i))
 	}
-	out := s.d.Sample(epoch, s.i+i*s.n)
-	out.Index = i
-	return out
+	Fill(s.d, epoch, s.i+i*s.n, sm)
+	sm.Index = i
 }
 
 // TotalBytes sums raw sample sizes (materializing each sample once).
 // Intended for reporting, not hot paths.
 func TotalBytes(d Dataset) int64 {
 	var total int64
+	var s data.Sample
 	for i := 0; i < d.Len(); i++ {
-		total += d.Sample(0, i).RawBytes
+		Fill(d, 0, i, &s)
+		total += s.RawBytes
 	}
 	return total
 }

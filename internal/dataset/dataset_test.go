@@ -4,6 +4,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"github.com/minatoloader/minato/internal/data"
 	"github.com/minatoloader/minato/internal/stats"
 )
 
@@ -60,7 +61,7 @@ func TestLibriSpeechShapeAndPairs(t *testing.T) {
 		if mb < 0.0599 || mb > 0.3401 {
 			t.Fatalf("sample %d size %.3f MB out of range", i, mb)
 		}
-		if s.PairKey == "" {
+		if s.Pair.IsZero() {
 			t.Fatal("speech sample missing paired transcript key")
 		}
 		if s.Features.Heavy {
@@ -151,7 +152,7 @@ func TestReplicateDistinctKeysSameContent(t *testing.T) {
 func TestShardPartitionsDataset(t *testing.T) {
 	base := NewKiTS19(1)
 	const n = 4
-	seen := map[string]int{}
+	seen := map[data.Key]int{}
 	total := 0
 	for i := 0; i < n; i++ {
 		sh := Shard(base, i, n)

@@ -12,6 +12,7 @@ package dist
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // mix64 is the SplitMix64 finalizer: a bijective mixer with full avalanche.
@@ -135,5 +136,47 @@ func Permutation(seed, stream uint64, n int) []int {
 		j := int(mix64(base^mix64(uint64(i))) % uint64(i+1))
 		p[i], p[j] = p[j], p[i]
 	}
+	return p
+}
+
+// permCache memoizes Permutation results. Epoch permutations of large
+// datasets are megabytes each and every loader of a comparison run asks for
+// the same ones, so the sessions of a process share a small keyed cache
+// instead of re-shuffling (and re-allocating) per session. Entries are
+// evicted in insertion order beyond a fixed bound on retained ints.
+var permCache = struct {
+	sync.Mutex
+	entries map[permKey][]int
+	order   []permKey
+	ints    int
+}{entries: make(map[permKey][]int)}
+
+type permKey struct {
+	seed, stream uint64
+	n            int
+}
+
+// permCacheMaxInts bounds the cache's retained memory (≈64 MB of ints).
+const permCacheMaxInts = 8 << 20
+
+// PermutationCached returns Permutation(seed, stream, n) from a process-wide
+// memo. The returned slice is shared: callers must treat it as read-only.
+func PermutationCached(seed, stream uint64, n int) []int {
+	k := permKey{seed, stream, n}
+	permCache.Lock()
+	defer permCache.Unlock()
+	if p, ok := permCache.entries[k]; ok {
+		return p
+	}
+	p := Permutation(seed, stream, n)
+	for permCache.ints+n > permCacheMaxInts && len(permCache.order) > 0 {
+		old := permCache.order[0]
+		permCache.order = permCache.order[1:]
+		permCache.ints -= old.n
+		delete(permCache.entries, old)
+	}
+	permCache.entries[k] = p
+	permCache.order = append(permCache.order, k)
+	permCache.ints += n
 	return p
 }

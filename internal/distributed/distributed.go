@@ -19,6 +19,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/minatoloader/minato/internal/data"
 	"github.com/minatoloader/minato/internal/dataset"
 	"github.com/minatoloader/minato/internal/hardware"
 	"github.com/minatoloader/minato/internal/loader"
@@ -117,7 +118,8 @@ func run(k *simtime.Virtual, cfg Config, w workload.Workload, f trainer.Factory,
 		tb := hardware.NewTestbed(k, cfg.Node)
 		shardW := w.WithDataset(dataset.Shard(w.Dataset, i, cfg.Nodes))
 		spec := shardW.Spec()
-		env := &loader.Env{RT: k, CPU: tb.CPU, GPUs: tb.GPUs, Store: tb.Store, WG: wg}
+		env := &loader.Env{RT: k, CPU: tb.CPU, GPUs: tb.GPUs, Store: tb.Store, WG: wg,
+			Pool: data.NewPool()}
 		nodes[i] = &node{tb: tb, ld: f.New(env, spec)}
 		totalConsumers += len(tb.GPUs)
 	}
@@ -159,6 +161,7 @@ func run(k *simtime.Virtual, cfg Config, w workload.Workload, f trainer.Factory,
 						return
 					}
 					samples.Add(int64(len(b.Samples)))
+					b.Release()
 					// Gradient synchronization: bulk-synchronous step.
 					if _, err := barrier.Wait(ctx); err != nil {
 						return // barrier broken: another rank finished
@@ -196,6 +199,9 @@ func run(k *simtime.Virtual, cfg Config, w workload.Workload, f trainer.Factory,
 	end := time.Duration(lastEnd.Load())
 	if end < start {
 		end = k.Now()
+	}
+	for _, n := range nodes {
+		n.tb.Cache.Recycle()
 	}
 	rep.TrainTime = end - start
 	rep.Steps = steps.Load()

@@ -51,9 +51,24 @@ type Loader struct {
 	idx      *loader.IndexSource
 	rawQs    []*queue.Queue[*data.Batch]
 	readyQs  []*queue.Queue[*data.Batch]
+	ioTasks  *queue.Queue[ioTask]
+	ioDone   *queue.Queue[ioResult]
 	counter  *loader.DeliveryCounter
 	stopOnce sync.Once
 	cancel   context.CancelFunc
+}
+
+// ioTask is one sample load dispatched to the persistent IO worker pool.
+type ioTask struct {
+	item loader.IndexItem
+	slot int
+}
+
+// ioResult reports a completed load back to the reader.
+type ioResult struct {
+	s    *data.Sample
+	slot int
+	err  error
 }
 
 // New returns a DALI loader over the given spec.
@@ -70,6 +85,8 @@ func New(env *loader.Env, spec loader.Spec, cfg Config) *Loader {
 	l := &Loader{
 		env: env, spec: spec, cfg: cfg,
 		idx:     loader.NewIndexSource(env, spec, 4*spec.BatchSize),
+		ioTasks: queue.New[ioTask](env.RT, "dali-iotasks", cfg.IOParallelism),
+		ioDone:  queue.New[ioResult](env.RT, "dali-iodone", spec.BatchSize),
 		counter: loader.NewDeliveryCounter(spec.TotalBatches()),
 	}
 	for g := range env.GPUs {
@@ -90,10 +107,18 @@ func (l *Loader) Start(ctx context.Context) error {
 	ctx, l.cancel = context.WithCancel(ctx)
 	l.idx.Start(ctx)
 
+	// Persistent IO pool: IOParallelism workers bound concurrent loads.
+	for w := 0; w < l.cfg.IOParallelism; w++ {
+		l.env.WG.Go("dali-io", func() {
+			l.ioWorker(ctx)
+		})
+	}
+
 	// Reader: assemble raw batches in order, loading samples with bounded
 	// parallel I/O, and hand them to GPU pipelines round-robin.
 	l.env.WG.Go("dali-reader", func() {
 		defer func() {
+			l.ioTasks.Close()
 			for _, q := range l.rawQs {
 				q.Close()
 			}
@@ -129,44 +154,68 @@ func (l *Loader) Start(ctx context.Context) error {
 	return nil
 }
 
-// loadRaw loads a batch's samples with bounded parallelism. The returned
+// ioWorker is one slot of the persistent IO pool: it loads samples for the
+// reader until the task queue closes. A fixed pool of IOParallelism workers
+// bounds concurrent loads exactly like the per-batch semaphore it replaced,
+// without spawning a goroutine (and a semaphore queue) per sample.
+func (l *Loader) ioWorker(ctx context.Context) {
+	for {
+		t, err := l.ioTasks.Get(ctx)
+		if err != nil {
+			return
+		}
+		s, err := loader.LoadSample(ctx, l.env, l.spec, t.item)
+		if err == nil {
+			// Host-side ingest (decode headers, pin buffers): small CPU
+			// cost so DALI shows the paper's light CPU footprint.
+			ingest := time.Millisecond +
+				time.Duration(float64(s.RawBytes)/(1<<20)*0.2*float64(time.Millisecond))
+			err = l.env.CPU.Run(ctx, ingest)
+			if err != nil {
+				l.env.Pool.Put(s)
+				s = nil
+			}
+		}
+		if perr := l.ioDone.Put(context.Background(), ioResult{s: s, slot: t.slot, err: err}); perr != nil {
+			l.env.Pool.Put(s)
+			return
+		}
+	}
+}
+
+// loadRaw loads a batch's samples through the IO worker pool. The returned
 // batch still holds raw (untransformed) samples.
 func (l *Loader) loadRaw(ctx context.Context, seq int64, items []loader.IndexItem) (*data.Batch, error) {
-	samples := make([]*data.Sample, len(items))
-	errs := make([]error, len(items))
-	sem := queue.New[struct{}](l.env.RT, "dali-iosem", l.cfg.IOParallelism)
-	wg := l.env.WG
-	done := queue.New[int](l.env.RT, "dali-iodone", len(items))
+	b := l.env.Pool.GetBatch(len(items))
+	b.Samples = b.Samples[:len(items)]
+	dispatched := 0
+	var firstErr error
 	for i, it := range items {
-		i, it := i, it
-		if err := sem.Put(ctx, struct{}{}); err != nil {
-			return nil, err
+		if err := l.ioTasks.Put(ctx, ioTask{item: it, slot: i}); err != nil {
+			firstErr = err
+			break
 		}
-		wg.Go("dali-io", func() {
-			s, err := loader.LoadSample(ctx, l.env, l.spec, it)
-			if err == nil {
-				// Host-side ingest (decode headers, pin buffers): small CPU
-				// cost so DALI shows the paper's light CPU footprint.
-				ingest := time.Millisecond +
-					time.Duration(float64(s.RawBytes)/(1<<20)*0.2*float64(time.Millisecond))
-				err = l.env.CPU.Run(ctx, ingest)
-			}
-			samples[i], errs[i] = s, err
-			_, _, _ = sem.TryGet()
-			_ = done.Put(context.Background(), i)
-		})
+		dispatched++
 	}
-	for range items {
-		if _, err := done.Get(ctx); err != nil {
-			return nil, err
-		}
-	}
-	for _, err := range errs {
+	for n := 0; n < dispatched; n++ {
+		r, err := l.ioDone.Get(ctx)
 		if err != nil {
+			// Shutdown: results for in-flight tasks are unrecoverable here;
+			// the pool instances are reclaimed by GC with the session.
+			b.Release()
 			return nil, err
 		}
+		if r.err != nil && firstErr == nil {
+			firstErr = r.err
+		}
+		b.Samples[r.slot] = r.s
 	}
-	return &data.Batch{Samples: samples, Seq: seq, CreatedAt: l.env.RT.Now()}, nil
+	if firstErr != nil {
+		b.Release()
+		return nil, firstErr
+	}
+	b.Seq, b.CreatedAt = seq, l.env.RT.Now()
+	return b, nil
 }
 
 // gpuPipe preprocesses raw batches on GPU g and buffers ready batches.
@@ -182,6 +231,7 @@ func (l *Loader) gpuPipe(ctx context.Context, g int) {
 		for _, s := range b.Samples {
 			s.PreprocStart = l.env.RT.Now()
 			if err := l.spec.Pipeline.Apply(ctx, exec, s); err != nil {
+				b.Release()
 				return
 			}
 			s.PreprocEnd = l.env.RT.Now()
@@ -190,12 +240,14 @@ func (l *Loader) gpuPipe(ctx context.Context, g int) {
 		if err := dev.Reserve(b.Bytes()); err != nil {
 			// Memory pressure: DALI raises OOM in the real system (§3.4).
 			// Our harness surfaces it as a stopped pipeline.
+			b.Release()
 			return
 		}
 		b.Resident = true
 		b.CreatedAt = l.env.RT.Now()
 		if err := l.readyQs[g].Put(ctx, b); err != nil {
 			dev.Release(b.Bytes())
+			b.Release()
 			return
 		}
 	}
@@ -221,6 +273,8 @@ func (l *Loader) Stop() {
 			l.cancel()
 		}
 		l.idx.Out().Close()
+		l.ioTasks.Close()
+		l.ioDone.Close()
 		for _, q := range l.rawQs {
 			q.Close()
 		}

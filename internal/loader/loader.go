@@ -88,6 +88,10 @@ type Env struct {
 	Store *storage.Store
 	// WG tracks loader tasks; sessions wait on it during teardown.
 	WG *simtime.WaitGroup
+	// Pool recycles samples and batches through the data path (see
+	// data.Pool). A nil pool degrades to plain allocation, so hand-built
+	// environments keep working; sessions and the trainer always set one.
+	Pool *data.Pool
 }
 
 // ErrStopped is returned by Next when the loader was stopped before the
@@ -147,7 +151,9 @@ func (is *IndexSource) Start(ctx context.Context) {
 		perEpoch := is.Spec.BatchesPerEpoch() * is.Spec.BatchSize
 		var seq int64
 		for epoch := 0; seq < int64(total); epoch++ {
-			perm := dist.Permutation(is.Spec.Seed, uint64(epoch)+1000, is.Spec.Dataset.Len())
+			// Cached + read-only: every loader of a comparison run draws the
+			// same epoch orders, so the shuffles are shared process-wide.
+			perm := dist.PermutationCached(is.Spec.Seed, uint64(epoch)+1000, is.Spec.Dataset.Len())
 			for i := 0; i < perEpoch && seq < int64(total); i++ {
 				item := IndexItem{Epoch: epoch, Index: perm[i], Seq: seq}
 				if err := is.out.Put(ctx, item); err != nil {
@@ -160,10 +166,15 @@ func (is *IndexSource) Start(ctx context.Context) {
 }
 
 // LoadSample materializes, reads, and stamps a sample for an index item.
+// The sample instance is drawn from the environment's pool; the caller owns
+// it and must hand it onward (into a batch) or release it back with
+// env.Pool.Put. On error no sample is retained.
 func LoadSample(ctx context.Context, env *Env, spec Spec, it IndexItem) (*data.Sample, error) {
-	s := spec.Dataset.Sample(it.Epoch, it.Index)
+	s := env.Pool.Get()
+	dataset.Fill(spec.Dataset, it.Epoch, it.Index, s)
 	s.OriginalOrder = it.Seq
 	if err := env.Store.ReadSample(ctx, env.RT, s); err != nil {
+		env.Pool.Put(s)
 		return nil, err
 	}
 	return s, nil

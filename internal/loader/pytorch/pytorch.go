@@ -32,7 +32,10 @@ type Config struct {
 	PrefetchFactor int
 	// ReorderPolicy optionally rearranges the pipeline per sample before
 	// preprocessing; Pecan's AutoOrder plugs in here. Nil keeps Table 1
-	// order.
+	// order. The policy must depend on the sample only through each
+	// transform's volume classification (transform.Classify): results are
+	// memoized per classification signature (transform.OrderCache), so the
+	// policy runs once per distinct signature, not once per sample.
 	ReorderPolicy func(ts []transform.Transform, s *data.Sample) []transform.Transform
 	// LoaderName overrides the reported name (used by the pecan wrapper).
 	LoaderName string
@@ -61,9 +64,10 @@ type Loader struct {
 	tokens *queue.Queue[struct{}]
 	out    *queue.Queue[*data.Batch]
 
-	reorder  reorderBuffer
-	stopOnce sync.Once
-	cancel   context.CancelFunc
+	reorder    reorderBuffer
+	orderCache transform.OrderCache
+	stopOnce   sync.Once
+	cancel     context.CancelFunc
 }
 
 // New returns a PyTorch DataLoader over the given spec.
@@ -165,24 +169,36 @@ func (l *Loader) Start(ctx context.Context) error {
 // prepare loads and preprocesses one batch serially — the per-worker loop
 // of Fig 1a.
 func (l *Loader) prepare(ctx context.Context, task batchTask) (*data.Batch, error) {
-	samples := make([]*data.Sample, 0, len(task.items))
+	b := l.env.Pool.GetBatch(len(task.items))
 	for _, it := range task.items {
 		s, err := loader.LoadSample(ctx, l.env, l.spec, it)
 		if err != nil {
+			b.Release()
 			return nil, err
 		}
 		s.PreprocStart = l.env.RT.Now()
 		p := l.spec.Pipeline
 		if l.cfg.ReorderPolicy != nil {
-			p = p.Reordered(l.cfg.ReorderPolicy(p.Transforms(), s))
+			p = l.reordered(p, s)
 		}
 		if err := p.Apply(ctx, l.env.CPU, s); err != nil {
+			l.env.Pool.Put(s)
+			b.Release()
 			return nil, err
 		}
 		s.PreprocEnd = l.env.RT.Now()
-		samples = append(samples, s)
+		b.Samples = append(b.Samples, s)
 	}
-	return &data.Batch{Samples: samples, Seq: task.seq, CreatedAt: l.env.RT.Now()}, nil
+	b.Seq, b.CreatedAt = task.seq, l.env.RT.Now()
+	return b, nil
+}
+
+// reordered resolves the per-sample pipeline rearrangement through a cache
+// keyed by the samples' classification signature, so the policy (and the
+// pipeline construction behind it) runs once per distinct signature instead
+// of once per sample.
+func (l *Loader) reordered(p *transform.Pipeline, s *data.Sample) *transform.Pipeline {
+	return l.orderCache.Reordered(p, s, l.cfg.ReorderPolicy)
 }
 
 // Next implements loader.Loader. All GPU consumers share the single
@@ -237,6 +253,7 @@ func (r *reorderBuffer) deliver(b *data.Batch) {
 		delete(r.pending, r.next)
 		if ok, err := r.out.TryPut(nb); !ok || err != nil {
 			r.mu.Unlock()
+			nb.Release() // queue closed mid-shutdown: the batch is ours
 			return
 		}
 		r.next++

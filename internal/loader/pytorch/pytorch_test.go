@@ -158,9 +158,15 @@ func TestReorderPolicyApplied(t *testing.T) {
 	k.Run(func() {
 		env := newEnv(k, 16)
 		called := 0
+		sigs := map[string]bool{}
 		cfg := DefaultConfig()
 		cfg.ReorderPolicy = func(ts []transform.Transform, s *data.Sample) []transform.Transform {
 			called++
+			sig := ""
+			for _, tr := range ts {
+				sig += string(rune('0' + int(transform.Classify(tr, s))))
+			}
+			sigs[sig] = true
 			return transform.AutoOrder(ts, s)
 		}
 		cfg.LoaderName = "pecan"
@@ -169,15 +175,26 @@ func TestReorderPolicyApplied(t *testing.T) {
 			t.Fatalf("name = %s", l.Name())
 		}
 		_ = l.Start(context.Background())
+		delivered := 0
 		for {
 			if _, err := l.Next(context.Background(), 0); err == io.EOF {
 				break
 			} else if err != nil {
 				t.Fatal(err)
 			}
+			delivered++
 		}
-		if called != 20 {
-			t.Fatalf("reorder policy called %d times, want 20 (once per sample)", called)
+		if delivered != 5 {
+			t.Fatalf("delivered %d batches, want 5", delivered)
+		}
+		// The policy result is memoized per classification signature
+		// (transform.OrderCache): it must run at least once, and exactly
+		// once per distinct signature seen — never once per sample.
+		if called == 0 {
+			t.Fatal("reorder policy never called")
+		}
+		if called != len(sigs) {
+			t.Fatalf("reorder policy called %d times for %d distinct signatures", called, len(sigs))
 		}
 		l.Stop()
 		_ = env.WG.Wait(context.Background())

@@ -254,3 +254,114 @@ func TestQuickFIFOPreserved(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestGetZeroesVacatedSlots is the regression test for the vacated-slot
+// leak: a popped pointer must not stay reachable from the ring's backing
+// array, or the queue pins every element it ever carried until the slot is
+// overwritten (if ever).
+func TestGetZeroesVacatedSlots(t *testing.T) {
+	k := simtime.NewVirtual()
+	k.Run(func() {
+		q := New[*int](k, "q", 8)
+		for i := 0; i < 5; i++ {
+			v := i
+			_ = q.Put(context.Background(), &v)
+		}
+		for i := 0; i < 5; i++ {
+			if v, err := q.Get(context.Background()); err != nil || *v != i {
+				t.Fatalf("Get = %v, %v", v, err)
+			}
+		}
+		q.mu.Lock()
+		defer q.mu.Unlock()
+		for i, p := range q.buf {
+			if p != nil {
+				t.Fatalf("ring slot %d still holds %v after pop", i, *p)
+			}
+		}
+	})
+}
+
+// TestWaitListDropsWokenSelectors: waiter rings must likewise zero their
+// slots, so a selector does not stay reachable from the queue after its
+// park ended (the same leak class, for waiters instead of items).
+func TestWaitListDropsWokenSelectors(t *testing.T) {
+	k := simtime.NewVirtual()
+	k.Run(func() {
+		q := New[int](k, "q", 1)
+		wg := simtime.NewWaitGroup(k)
+		var got atomic.Int64
+		for i := 0; i < 4; i++ {
+			wg.Go("consumer", func() {
+				v, err := q.Get(context.Background())
+				if err == nil {
+					got.Add(int64(v))
+				}
+			})
+		}
+		_ = k.Sleep(context.Background(), time.Second) // all four parked
+		for i := 0; i < 4; i++ {
+			_ = q.Put(context.Background(), 1)
+		}
+		_ = wg.Wait(context.Background())
+		if got.Load() != 4 {
+			t.Fatalf("consumers got %d items, want 4", got.Load())
+		}
+		q.mu.Lock()
+		defer q.mu.Unlock()
+		if q.getWaiters.n != 0 {
+			t.Fatalf("%d waiters still registered", q.getWaiters.n)
+		}
+		for i, e := range q.getWaiters.ring {
+			if e.sel != nil {
+				t.Fatalf("waiter ring slot %d still holds a selector", i)
+			}
+		}
+	})
+}
+
+// TestBlockingOpsAllocationFree: after warm-up, blocking handoffs through
+// the queue must not allocate (pooled selectors, ring-backed waiter lists).
+func TestBlockingOpsAllocationFree(t *testing.T) {
+	rt := simtime.NewReal(1)
+	q := New[int](rt, "q", 4)
+	for i := 0; i < 64; i++ { // warm the selector pool and rings
+		_, _ = q.TryPut(i)
+		_, _, _ = q.TryGet()
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		_, _ = q.TryPut(1)
+		_, _, _ = q.TryGet()
+	})
+	if avg > 0 {
+		t.Fatalf("TryPut+TryGet allocates %.1f objects per op, want 0", avg)
+	}
+}
+
+// TestKickRedeliversStrandedWakeup: a consumer that claims a wakeup but
+// decides not to consume (e.g. a retiring worker) calls Kick so the item
+// reaches a parked peer instead of being stranded.
+func TestKickRedeliversStrandedWakeup(t *testing.T) {
+	k := simtime.NewVirtual()
+	k.Run(func() {
+		q := New[int](k, "q", 4)
+		var got atomic.Int64
+		wg := simtime.NewWaitGroup(k)
+		wg.Go("peer", func() {
+			if v, err := q.Get(context.Background()); err == nil {
+				got.Add(int64(v))
+			}
+		})
+		_ = k.Sleep(context.Background(), time.Second) // peer parked
+		_ = q.Put(context.Background(), 7)
+		// Simulate a woken consumer abandoning its claim: the item is
+		// buffered, the peer may or may not have been the one woken; Kick
+		// must ensure a parked consumer is (re-)woken while items remain.
+		q.Kick()
+		_ = wg.Wait(context.Background())
+		if got.Load() != 7 {
+			t.Fatalf("peer got %d, want 7", got.Load())
+		}
+		q.Kick() // empty queue: must be a no-op, not a spurious wake storm
+	})
+}

@@ -92,14 +92,16 @@ func Deterministic(rt Runtime) bool {
 // lock (as Device does) must Reset under that lock so wakes are serialized
 // against the cycle boundary.
 //
-// The drain must happen BEFORE the state store. Gate.Pulse and Queue.Close
-// deliver TryWake outside their locks from a snapshot taken after the
-// subscription was deregistered, so a delayed waker is not serialized with
-// this reset. Draining first means such a waker is either refused (stale
-// pre-reset state) or claims the fresh cycle with its send intact; with the
-// opposite order it could claim the fresh cycle and have its send eaten,
-// leaving state woken with an empty channel — the next Wait would block
-// forever.
+// The drain must happen BEFORE the state store. Gate.Pulse delivers TryWake
+// outside its lock from a snapshot taken after the subscription was
+// deregistered, so a delayed waker is not serialized with this reset.
+// Draining first means such a waker is either refused (stale pre-reset
+// state) or claims the fresh cycle with its send intact; with the opposite
+// order it could claim the fresh cycle and have its send eaten, leaving
+// state woken with an empty channel — the next Wait would block forever.
+// (Queues, by contrast, deliver every waiter-entry TryWake — including
+// Close's — while holding the queue lock; their pooled park selectors
+// depend on that in-lock delivery, see queue.parkLocked.)
 func (s *Selector) Reset() {
 	select {
 	case <-s.ch:
@@ -215,7 +217,7 @@ func (s *Selector) waitVirtual(ctx context.Context, deadline time.Duration) (int
 		if deadline > 0 {
 			t := getTimer()
 			t.sel = s
-			k.scheduleLocked(t, k.now+deadline)
+			k.scheduleLocked(t, k.now.Load()+deadline)
 			s.t = t
 		}
 		k.runnable--
@@ -294,12 +296,22 @@ func NewGate() *Gate {
 	return &Gate{seen: make(map[*Selector]uint64)}
 }
 
+// gateSeenLimit bounds the per-selector pulse memory: beyond it, Pulse
+// drops the whole map rather than letting transient selectors (e.g.
+// throwaway WaitAny selectors armed on a gate) accumulate forever. A
+// dropped entry costs its selector at most one spurious wake at its next
+// Arm — consumers re-check their condition, so that is safe.
+const gateSeenLimit = 1024
+
 // Pulse wakes every armed selector and advances the gate version.
 func (g *Gate) Pulse() {
 	g.mu.Lock()
 	g.version++
 	subs := g.subs
 	g.subs = nil
+	if len(g.seen) > gateSeenLimit {
+		clear(g.seen)
+	}
 	for _, e := range subs {
 		g.seen[e.sel] = g.version
 	}

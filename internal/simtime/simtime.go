@@ -28,6 +28,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -145,8 +146,14 @@ func (w *Waiter) Wait(ctx context.Context) error {
 // Virtual is a deterministic discrete-event runtime. Time advances to the
 // earliest pending timer whenever all tracked tasks are parked.
 type Virtual struct {
-	mu       sync.Mutex
-	now      time.Duration
+	mu sync.Mutex
+	// now is written only under mu but read lock-free by Now: the kernel
+	// advances time only while every tracked task is parked, so a running
+	// task can never observe a concurrent advance — the atomic read returns
+	// exactly what a mutex-guarded read would, without the global lock
+	// traffic (Now is called on every queue, device, and profiler
+	// operation).
+	now      atomicDuration
 	runnable int
 	tasks    int
 	timers   timerHeap
@@ -171,11 +178,9 @@ func closedChan() chan struct{} {
 	return ch
 }
 
-// Now returns the current virtual time.
+// Now returns the current virtual time, lock-free.
 func (k *Virtual) Now() time.Duration {
-	k.mu.Lock()
-	defer k.mu.Unlock()
-	return k.now
+	return k.now.Load()
 }
 
 // Go spawns fn as a tracked task.
@@ -245,7 +250,7 @@ func (k *Virtual) Sleep(ctx context.Context, d time.Duration) error {
 	}
 	t := getTimer()
 	k.mu.Lock()
-	k.scheduleLocked(t, k.now+d)
+	k.scheduleLocked(t, k.now.Load()+d)
 	k.runnable--
 	k.maybeAdvanceLocked()
 	k.mu.Unlock()
@@ -329,7 +334,7 @@ func (k *Virtual) maybeAdvanceLocked() {
 			}
 			panic(fmt.Sprintf(
 				"simtime: deadlock at t=%v: %d tasks alive, none runnable, no pending timers",
-				k.now, k.tasks))
+				k.now.Load(), k.tasks))
 		}
 		stallPolls = 0
 		head := heap.Pop(&k.timers).(*timer)
@@ -344,7 +349,7 @@ func (k *Virtual) maybeAdvanceLocked() {
 			}
 		}
 		if live {
-			k.now = head.deadline
+			k.now.Store(head.deadline)
 		}
 		for t := head; t != nil; {
 			next := t.next
@@ -374,6 +379,12 @@ const (
 	stallPollInterval = 200 * time.Microsecond
 	maxStallPolls     = 10000
 )
+
+// atomicDuration is a time.Duration with atomic load/store.
+type atomicDuration struct{ v atomic.Int64 }
+
+func (d *atomicDuration) Load() time.Duration   { return time.Duration(d.v.Load()) }
+func (d *atomicDuration) Store(t time.Duration) { d.v.Store(int64(t)) }
 
 // timer is a pending kernel deadline. ch is the wake channel for plain
 // sleeps; sel is set instead for selector deadline-parks (see select.go).

@@ -8,7 +8,6 @@
 package storage
 
 import (
-	"container/list"
 	"context"
 	"sync"
 	"sync/atomic"
@@ -100,37 +99,96 @@ func (d *Disk) ReadRateGauge(rt simtime.Runtime) func() float64 {
 	}
 }
 
-// PageCache is a byte-capacity LRU cache keyed by sample storage keys.
+// PageCache is a byte-capacity LRU cache keyed by sample storage keys. The
+// LRU list is intrusive (nodes carry their own links) and nodes are
+// recycled through a process-wide pool, so cache traffic allocates nothing
+// in steady state beyond the index map itself.
 type PageCache struct {
-	mu       sync.Mutex
-	capacity int64
-	used     int64
-	ll       *list.List // front = most recently used
-	index    map[string]*list.Element
+	mu         sync.Mutex
+	capacity   int64
+	used       int64
+	head, tail *cacheNode // head = most recently used
+	index      map[data.Key]*cacheNode
 
 	hits, misses, evictions int64
 }
 
-type cacheEntry struct {
-	key   string
-	bytes int64
+type cacheNode struct {
+	key        data.Key
+	bytes      int64
+	prev, next *cacheNode
 }
+
+var cacheNodePool = sync.Pool{New: func() any { return new(cacheNode) }}
+
+// cacheIndexPool recycles index maps across caches: Go keeps a cleared
+// map's buckets allocated, so a session's cache starts with the previous
+// session's bucket array instead of growing from scratch.
+var cacheIndexPool = sync.Pool{New: func() any { return make(map[data.Key]*cacheNode) }}
 
 // NewPageCache returns a cache with the given byte capacity.
 func NewPageCache(capacity int64) *PageCache {
 	return &PageCache{
 		capacity: capacity,
-		ll:       list.New(),
-		index:    make(map[string]*list.Element),
+		index:    cacheIndexPool.Get().(map[data.Key]*cacheNode),
+	}
+}
+
+// Recycle empties the cache and returns its nodes and index storage to the
+// process-wide pools. Owners call it when the cache's session ends; the
+// cache itself remains usable (empty) afterwards.
+func (c *PageCache) Recycle() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for n := c.head; n != nil; {
+		next := n.next
+		*n = cacheNode{}
+		cacheNodePool.Put(n)
+		n = next
+	}
+	c.head, c.tail = nil, nil
+	c.used = 0
+	clear(c.index)
+	cacheIndexPool.Put(c.index)
+	// A small fresh map keeps this cache usable; the warmed buckets go to
+	// the next session's cache.
+	c.index = make(map[data.Key]*cacheNode)
+}
+
+func (c *PageCache) unlink(n *cacheNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		c.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		c.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (c *PageCache) pushFront(n *cacheNode) {
+	n.prev, n.next = nil, c.head
+	if c.head != nil {
+		c.head.prev = n
+	}
+	c.head = n
+	if c.tail == nil {
+		c.tail = n
 	}
 }
 
 // Get reports whether key is cached, marking it most recently used.
-func (c *PageCache) Get(key string) bool {
+func (c *PageCache) Get(key data.Key) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if e, ok := c.index[key]; ok {
-		c.ll.MoveToFront(e)
+	if n, ok := c.index[key]; ok {
+		if c.head != n {
+			c.unlink(n)
+			c.pushFront(n)
+		}
 		c.hits++
 		return true
 	}
@@ -140,28 +198,35 @@ func (c *PageCache) Get(key string) bool {
 
 // Put inserts key with the given size, evicting least-recently-used entries
 // until the cache fits. Objects larger than the whole cache are not cached.
-func (c *PageCache) Put(key string, bytes int64) {
+func (c *PageCache) Put(key data.Key, bytes int64) {
 	if bytes > c.capacity {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if e, ok := c.index[key]; ok {
-		c.ll.MoveToFront(e)
+	if n, ok := c.index[key]; ok {
+		if c.head != n {
+			c.unlink(n)
+			c.pushFront(n)
+		}
 		return
 	}
 	for c.used+bytes > c.capacity {
-		back := c.ll.Back()
+		back := c.tail
 		if back == nil {
 			break
 		}
-		ent := back.Value.(*cacheEntry)
-		c.ll.Remove(back)
-		delete(c.index, ent.key)
-		c.used -= ent.bytes
+		c.unlink(back)
+		delete(c.index, back.key)
+		c.used -= back.bytes
 		c.evictions++
+		*back = cacheNode{}
+		cacheNodePool.Put(back)
 	}
-	c.index[key] = c.ll.PushFront(&cacheEntry{key: key, bytes: bytes})
+	n := cacheNodePool.Get().(*cacheNode)
+	n.key, n.bytes = key, bytes
+	c.pushFront(n)
+	c.index[key] = n
 	c.used += bytes
 }
 

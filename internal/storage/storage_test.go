@@ -2,7 +2,6 @@ package storage
 
 import (
 	"context"
-	"fmt"
 	"math"
 	"testing"
 	"testing/quick"
@@ -50,19 +49,19 @@ func TestDiskConcurrentReadersShareBandwidth(t *testing.T) {
 
 func TestPageCacheLRUEviction(t *testing.T) {
 	c := NewPageCache(100)
-	c.Put("a", 40)
-	c.Put("b", 40)
-	if !c.Get("a") || !c.Get("b") {
+	c.Put(data.KeyOf("k", 1), 40)
+	c.Put(data.KeyOf("k", 2), 40)
+	if !c.Get(data.KeyOf("k", 1)) || !c.Get(data.KeyOf("k", 2)) {
 		t.Fatal("fresh entries missing")
 	}
 	// "a" is now more recently used than... b was touched after a; touch a
 	// again so b is LRU.
-	c.Get("a")
-	c.Put("c", 40) // evicts b
-	if c.Get("b") {
+	c.Get(data.KeyOf("k", 1))
+	c.Put(data.KeyOf("k", 3), 40) // evicts b
+	if c.Get(data.KeyOf("k", 2)) {
 		t.Fatal("b should have been evicted (LRU)")
 	}
-	if !c.Get("a") || !c.Get("c") {
+	if !c.Get(data.KeyOf("k", 1)) || !c.Get(data.KeyOf("k", 3)) {
 		t.Fatal("a/c should remain")
 	}
 	s := c.Stats()
@@ -73,8 +72,8 @@ func TestPageCacheLRUEviction(t *testing.T) {
 
 func TestPageCacheOversizedObjectNotCached(t *testing.T) {
 	c := NewPageCache(10)
-	c.Put("big", 100)
-	if c.Get("big") {
+	c.Put(data.KeyOf("big", 0), 100)
+	if c.Get(data.KeyOf("big", 0)) {
 		t.Fatal("oversized object cached")
 	}
 	if c.Stats().Used != 0 {
@@ -84,8 +83,8 @@ func TestPageCacheOversizedObjectNotCached(t *testing.T) {
 
 func TestPageCacheDuplicatePut(t *testing.T) {
 	c := NewPageCache(100)
-	c.Put("a", 30)
-	c.Put("a", 30)
+	c.Put(data.KeyOf("k", 1), 30)
+	c.Put(data.KeyOf("k", 1), 30)
 	if got := c.Stats().Used; got != 30 {
 		t.Fatalf("Used = %d after duplicate Put, want 30", got)
 	}
@@ -96,7 +95,7 @@ func TestStoreCachesAfterFirstRead(t *testing.T) {
 	k.Run(func() {
 		disk := NewDisk(k, "nvme", 1e9, 1)
 		st := &Store{Disk: disk, Cache: NewPageCache(1 << 30)}
-		s := &data.Sample{Key: "x/1", RawBytes: 100e6, Bytes: 100e6}
+		s := &data.Sample{Key: data.KeyOf("x", 1), RawBytes: 100e6, Bytes: 100e6}
 
 		start := k.Now()
 		if err := st.ReadSample(context.Background(), k, s); err != nil {
@@ -129,7 +128,7 @@ func TestWorkingSetLargerThanCacheThrashes(t *testing.T) {
 		// 10 samples of 10 bytes = 100 bytes working set, cache 50.
 		for epoch := 0; epoch < 3; epoch++ {
 			for i := 0; i < 10; i++ {
-				s := &data.Sample{Key: fmt.Sprintf("k/%d", i), RawBytes: 10}
+				s := &data.Sample{Key: data.KeyOf("k", i), RawBytes: 10}
 				if err := st.ReadSample(context.Background(), k, s); err != nil {
 					t.Fatal(err)
 				}
@@ -166,7 +165,7 @@ func TestQuickCacheCapacityInvariant(t *testing.T) {
 	}) bool {
 		c := NewPageCache(1000)
 		for _, op := range ops {
-			c.Put(fmt.Sprintf("k%d", op.Key%32), int64(op.Size))
+			c.Put(data.KeyOf("k", int(op.Key%32)), int64(op.Size))
 			s := c.Stats()
 			if s.Used < 0 || s.Used > s.Capacity {
 				return false

@@ -179,7 +179,8 @@ func Run(rt simtime.Runtime, tb *hardware.Testbed, w workload.Workload, f Factor
 	ctx := context.Background()
 
 	wg := simtime.NewWaitGroup(rt)
-	env := &loader.Env{RT: rt, CPU: tb.CPU, GPUs: tb.GPUs, Store: tb.Store, WG: wg}
+	env := &loader.Env{RT: rt, CPU: tb.CPU, GPUs: tb.GPUs, Store: tb.Store, WG: wg,
+		Pool: data.NewPool()}
 	spec := w.Spec()
 	ld := f.New(env, spec)
 
@@ -297,6 +298,11 @@ func Run(rt simtime.Runtime, tb *hardware.Testbed, w workload.Workload, f Factor
 					traceMu.Unlock()
 				}
 
+				// The consumer owns the batch from Next to here; everything
+				// recorded above copies values out, so the samples can go
+				// back to the pool for upcoming draws.
+				b.Release()
+
 				// Epoch-end validation (img-seg): extra GPU work while
 				// loading pauses — the periodic dips of Fig 10.
 				if w.ValidationTime > 0 && perGPUEpoch > 0 {
@@ -369,11 +375,15 @@ func Simulate(cfg hardware.Config, w workload.Workload, f Factory, p Params) (*R
 	k := simtime.NewVirtual()
 	var rep *Report
 	var err error
+	var tb *hardware.Testbed
 	k.Run(func() {
-		tb := hardware.NewTestbed(k, cfg)
+		tb = hardware.NewTestbed(k, cfg)
 		rep, err = Run(k, tb, w, f, p)
 	})
 	k.Drain()
+	// The testbed dies with this call: hand its cache storage to the pools
+	// so the next session starts warm.
+	tb.Cache.Recycle()
 	return rep, err
 }
 

@@ -34,7 +34,7 @@ func TestQuickBudgetResumeInvariants(t *testing.T) {
 		p := NewPipeline("q", ts...)
 		budget := time.Duration(budgetRaw%300) * time.Millisecond
 
-		s := &data.Sample{Key: "q/0", RawBytes: 1 << 20, Bytes: 1 << 20}
+		s := &data.Sample{Key: data.KeyOf("q", 0), RawBytes: 1 << 20, Bytes: 1 << 20}
 		ex := &recordingExec{}
 		err := p.ApplyBudget(context.Background(), ex, s, budget)
 		switch {

@@ -114,12 +114,23 @@ func (p *Pipeline) ApplyBudget(ctx context.Context, exec Executor, s *data.Sampl
 	return err
 }
 
+// run executes the remaining transforms. Costs and size effects are pure
+// functions of the sample, so the walk first accounts each step and then
+// occupies the executor once for the accumulated compute — one device park
+// per Apply instead of one per transform, with identical virtual-time
+// occupancy (the per-step executions it replaces were back-to-back on the
+// same device at the same per-task rate).
 func (p *Pipeline) run(ctx context.Context, exec Executor, s *data.Sample, budget time.Duration) (time.Duration, error) {
 	var spent time.Duration
 	for i := s.NextTransform; i < len(p.ts); i++ {
 		t := p.ts[i]
 		if v := p.vals[i]; v != nil {
 			if err := v.Validate(s); err != nil {
+				// Occupy the executor for the steps that ran before the
+				// rejection, then surface the fault.
+				if rerr := p.occupy(ctx, exec, spent); rerr != nil {
+					return spent, rerr
+				}
 				return spent, err
 			}
 		}
@@ -129,26 +140,27 @@ func (p *Pipeline) run(ctx context.Context, exec Executor, s *data.Sample, budge
 			// sample for background completion. The interrupted transform
 			// will be re-executed in full (Algorithm 1, lines 11 & 16-17).
 			partial := budget - spent
-			if partial > 0 {
-				if err := exec.Run(ctx, partial); err != nil {
-					return spent, err
-				}
-				s.PreprocCost += partial
-			}
-			s.NextTransform = i
-			return spent + partial, ErrInterrupted
-		}
-		if c > 0 {
-			if err := exec.Run(ctx, c); err != nil {
+			if err := p.occupy(ctx, exec, spent+partial); err != nil {
 				return spent, err
 			}
+			s.PreprocCost += partial
+			s.NextTransform = i
+			return spent + partial, ErrInterrupted
 		}
 		spent += c
 		s.PreprocCost += c
 		s.Bytes = int64(float64(s.Bytes) * t.SizeFactor(s))
 		s.NextTransform = i + 1
 	}
-	return spent, nil
+	return spent, p.occupy(ctx, exec, spent)
+}
+
+// occupy runs the accumulated compute on the executor.
+func (p *Pipeline) occupy(ctx context.Context, exec Executor, work time.Duration) error {
+	if work <= 0 {
+		return nil
+	}
+	return exec.Run(ctx, work)
 }
 
 // Reordered returns a new pipeline with the given transform order. The

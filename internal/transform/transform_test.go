@@ -26,7 +26,7 @@ func constTransform(name string, cost time.Duration, factor float64) Transform {
 }
 
 func testSample(raw int64) *data.Sample {
-	return &data.Sample{Index: 0, Key: "t/0", RawBytes: raw, Bytes: raw}
+	return &data.Sample{Index: 0, Key: data.KeyOf("t", 0), RawBytes: raw, Bytes: raw}
 }
 
 func TestApplyRunsAllTransformsAndUpdatesSize(t *testing.T) {

@@ -196,14 +196,14 @@ func (w Workload) PairedModalities() bool {
 	if w.Dataset.Len() == 0 {
 		return false
 	}
-	return w.Dataset.Sample(0, 0).PairKey != ""
+	return !w.Dataset.Sample(0, 0).Pair.IsZero()
 }
 
 // VerifyPairing checks that a batch respects modality pairing: every
 // sample retains its paired key (the loader never splits pairs).
 func VerifyPairing(b *data.Batch) bool {
 	for _, s := range b.Samples {
-		if s.PairKey == "" {
+		if s.Pair.IsZero() {
 			continue
 		}
 		// The pair travels inside the sample, so presence of the key means

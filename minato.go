@@ -66,6 +66,9 @@ import (
 type (
 	// Sample is one training example flowing through a pipeline.
 	Sample = data.Sample
+	// Key identifies a stored object (sample bytes, paired modality)
+	// without allocating: a constant namespace string plus an index.
+	Key = data.Key
 	// Features are the hidden cost-model inputs of a synthetic sample.
 	Features = data.Features
 	// Batch is a set of preprocessed samples ready for training.

@@ -7,6 +7,14 @@
 // Standard units (ns/op, B/op, allocs/op) become top-level fields; anything
 // else (the experiment suite's speedup_x, samples/sec_wall, ...) lands under
 // "metrics".
+//
+// The diff subcommand compares two snapshots and fails (exit 1) when any
+// benchmark present in both regresses allocs/op by more than the threshold
+// — allocation counts are deterministic enough to gate in CI, unlike wall
+// times:
+//
+//	go run ./scripts/benchjson diff BENCH_old.json BENCH_new.json
+//	go run ./scripts/benchjson diff -max-allocs-regress 0.15 old.json new.json
 package main
 
 import (
@@ -38,6 +46,9 @@ type Record struct {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "diff" {
+		os.Exit(runDiff(os.Args[2:]))
+	}
 	var (
 		label = flag.String("label", "", "free-form snapshot label (e.g. pre-PR, post-PR)")
 		out   = flag.String("out", "", "output path (default stdout)")
@@ -75,6 +86,96 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(rec.Benchmarks), *out)
+}
+
+// runDiff implements `benchjson diff [-max-allocs-regress F] old.json
+// new.json`: a perf gate over two committed snapshots. Only allocs/op is
+// enforced — it is a property of the code, not the machine — while ns/op
+// and B/op movements are printed for context. Benchmarks missing from
+// either side are reported but never fatal, so adding or retiring a
+// benchmark does not break the gate.
+func runDiff(args []string) int {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	maxRegress := fs.Float64("max-allocs-regress", 0.15,
+		"maximum allowed fractional allocs/op increase per benchmark")
+	_ = fs.Parse(args)
+	if fs.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchjson diff [-max-allocs-regress F] old.json new.json")
+		return 2
+	}
+	oldRec, err := loadRecord(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 1
+	}
+	newRec, err := loadRecord(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 1
+	}
+
+	names := make([]string, 0, len(oldRec.Benchmarks))
+	for n := range oldRec.Benchmarks {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	failed := 0
+	for _, n := range names {
+		o := oldRec.Benchmarks[n]
+		nw, ok := newRec.Benchmarks[n]
+		if !ok {
+			fmt.Printf("%-50s missing from %s (skipped)\n", n, fs.Arg(1))
+			continue
+		}
+		fmt.Printf("%-50s ns/op %s  B/op %s  allocs/op %s\n",
+			n, delta(o.NsPerOp, nw.NsPerOp), delta(o.BytesPerOp, nw.BytesPerOp),
+			delta(o.AllocsPerOp, nw.AllocsPerOp))
+		if o.AllocsPerOp > 0 && nw.AllocsPerOp > o.AllocsPerOp*(1+*maxRegress) {
+			fmt.Printf("  FAIL: allocs/op regressed %.1f%% (%.0f -> %.0f), budget %.0f%%\n",
+				100*(nw.AllocsPerOp/o.AllocsPerOp-1), o.AllocsPerOp, nw.AllocsPerOp,
+				100**maxRegress)
+			failed++
+		}
+	}
+	for n := range newRec.Benchmarks {
+		if _, ok := oldRec.Benchmarks[n]; !ok {
+			fmt.Printf("%-50s new benchmark (no baseline)\n", n)
+		}
+	}
+	if failed > 0 {
+		fmt.Printf("benchjson diff: %d benchmark(s) over the allocs/op budget\n", failed)
+		return 1
+	}
+	fmt.Println("benchjson diff: allocs/op within budget for all compared benchmarks")
+	return 0
+}
+
+func loadRecord(path string) (*Record, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rec Record
+	if err := json.Unmarshal(buf, &rec); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rec.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks", path)
+	}
+	return &rec, nil
+}
+
+// delta renders old→new movement as a signed percentage.
+func delta(old, new float64) string {
+	switch {
+	case old == 0 && new == 0:
+		return "      —"
+	case old == 0:
+		return "   +new"
+	default:
+		return fmt.Sprintf("%+6.1f%%", 100*(new/old-1))
+	}
 }
 
 // parseLine handles `BenchmarkName-8  123  456 ns/op  7 B/op  1 allocs/op

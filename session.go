@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/minatoloader/minato/internal/data"
 	"github.com/minatoloader/minato/internal/hardware"
 	"github.com/minatoloader/minato/internal/loaders"
 	"github.com/minatoloader/minato/internal/simtime"
@@ -41,6 +42,7 @@ type sessionOptions struct {
 	epochs     int
 	seed       uint64
 	params     Params
+	retain     bool
 }
 
 // Option configures a Session (Open) or a training run (Train,
@@ -102,6 +104,14 @@ func WithSeed(seed uint64) Option { return func(o *sessionOptions) { o.seed = se
 // WithParams tunes what a training run records (time series, batch
 // composition, per-sample traces). Train/TrainWorkload only.
 func WithParams(p Params) Option { return func(o *sessionOptions) { o.params = p } }
+
+// WithRetainBatches disables the session's batch recycling: every batch
+// yielded by Batches stays valid indefinitely, at the cost of allocating
+// fresh samples for every draw. Without it, a yielded batch (and the
+// samples inside it) is recycled when the loop takes the next step, so
+// callers that keep references across iterations must either copy what
+// they need or set this option. Open-only.
+func WithRetainBatches() Option { return func(o *sessionOptions) { o.retain = true } }
 
 func buildOptions(opts []Option) *sessionOptions {
 	o := &sessionOptions{seed: 1}
@@ -187,6 +197,7 @@ type Session struct {
 	cache  *storage.PageCache
 
 	state   sessionState
+	retain  bool
 	err     error
 	startAt time.Duration
 	endAt   time.Duration
@@ -250,6 +261,9 @@ func Open(dataset Dataset, opts ...Option) (*Session, error) {
 		}
 		env, disk, cache = buildEnv(rt, ec)
 	}
+	if env.Pool == nil {
+		env.Pool = data.NewPool()
+	}
 
 	pipeline := o.pipeline
 	if pipeline == nil {
@@ -290,6 +304,7 @@ func Open(dataset Dataset, opts ...Option) (*Session, error) {
 		spec:   spec,
 		disk:   disk,
 		cache:  cache,
+		retain: o.retain,
 	}, nil
 }
 
@@ -307,6 +322,13 @@ func Open(dataset Dataset, opts ...Option) (*Session, error) {
 // pending work; a ctx cancellation is yielded once as the error and ends
 // the stream. In every case the loader's background tasks are fully torn
 // down before the loop statement completes, so Close never blocks.
+//
+// Batch lifetime: the yielded batch and its samples are owned by the loop
+// body only until it takes the next iteration step — at that point the
+// session recycles them for upcoming draws (the zero-allocation steady
+// state). Copy anything that must outlive the step, or open the session
+// with WithRetainBatches to keep every batch alive. The final batch (and a
+// batch the loop breaks on) is never recycled.
 func (s *Session) Batches(ctx context.Context) iter.Seq2[*Batch, error] {
 	return func(yield func(*Batch, error) bool) {
 		switch s.state {
@@ -338,6 +360,8 @@ func (s *Session) Batches(ctx context.Context) iter.Seq2[*Batch, error] {
 			n := len(s.env.GPUs)
 			done := make([]bool, n)
 			remaining := n
+			var prev *Batch
+			var prevGen uint32
 			for g := 0; remaining > 0; g = (g + 1) % n {
 				if done[g] {
 					continue
@@ -357,6 +381,14 @@ func (s *Session) Batches(ctx context.Context) iter.Seq2[*Batch, error] {
 				s.samples += int64(b.Size())
 				s.bytes += b.Bytes()
 				s.endAt = s.rt.Now()
+				// The previously yielded batch is out of its validity window
+				// once the loop asks for the next one: recycle it — unless
+				// the loop body already released it itself (the generation
+				// guard leaves a batch we no longer own alone).
+				if prev != nil && !s.retain {
+					prev.ReleaseIfOwned(prevGen)
+				}
+				prev, prevGen = b, b.Generation()
 				if !yield(b, nil) {
 					return
 				}
@@ -397,6 +429,7 @@ func (s *Session) Runtime() Runtime { return s.rt }
 // loop ended, so Close only waits (briefly) for a session-owned virtual
 // kernel to confirm every task has fully exited.
 func (s *Session) Close() (*Report, error) {
+	first := s.state != sessionClosed
 	s.state = sessionClosed
 	if v, ok := s.rt.(*simtime.Virtual); ok && s.ownsRT {
 		v.Drain()
@@ -415,6 +448,9 @@ func (s *Session) Close() (*Report, error) {
 	}
 	if s.cache != nil {
 		rep.CacheStats = s.cache.Stats()
+		if first {
+			s.cache.Recycle()
+		}
 	}
 	return rep, s.err
 }
@@ -459,6 +495,9 @@ func trainOpts(w Workload, o *sessionOptions) (*Report, error) {
 	}
 	if o.pipeline != nil {
 		return nil, errors.New("minato: workloads carry their own pipeline; WithPipeline applies to Open")
+	}
+	if o.retain {
+		return nil, errors.New("minato: training consumers own and recycle their batches; WithRetainBatches applies to Open")
 	}
 	f, err := o.resolveFactory()
 	if err != nil {

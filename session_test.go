@@ -16,7 +16,7 @@ func (d sessionDataset) Len() int     { return d.n }
 func (d sessionDataset) Sample(epoch, i int) *Sample {
 	return &Sample{
 		Index: i, Epoch: epoch,
-		Key:      "session-test/" + string(rune('a'+i%26)) + "/" + time.Duration(i).String(),
+		Key:      Key{Space: "session-test", Index: int64(i)},
 		RawBytes: 1 << 16, Bytes: 1 << 16,
 	}
 }
