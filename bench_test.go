@@ -10,7 +10,10 @@
 package minato
 
 import (
+	"context"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -68,7 +71,7 @@ func BenchmarkHeadlineSpeedup(b *testing.B) {
 		times := map[string]float64{}
 		var gpuUtil float64
 		for _, f := range AllFactories() {
-			rep, err := Simulate(cfg, w, f, Params{})
+			rep, err := TrainWorkload(w, WithLoaderFactory(f), WithHardware(cfg))
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -91,7 +94,7 @@ func BenchmarkLoaderSessionThroughput(b *testing.B) {
 	var samples int64
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		rep, err := Simulate(cfg, w, MinatoFactory(), Params{})
+		rep, err := TrainWorkload(w, WithLoaderFactory(MinatoFactory()), WithHardware(cfg))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -116,7 +119,7 @@ func BenchmarkFleetSession(b *testing.B) {
 			var gpuUtil float64
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				rep, err := Simulate(cfg, w, MinatoFactory(), Params{})
+				rep, err := TrainWorkload(w, WithLoaderFactory(MinatoFactory()), WithHardware(cfg))
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -125,6 +128,84 @@ func BenchmarkFleetSession(b *testing.B) {
 			}
 			b.ReportMetric(float64(samples)/b.Elapsed().Seconds(), "samples/sec_wall")
 			b.ReportMetric(gpuUtil, "gpu_util_pct")
+		})
+	}
+}
+
+// tenantCorpus is the shared corpus of the cluster-tenant tier: a pooled,
+// allocation-free dataset (Filler) whose storage keys are common to every
+// tenant, so co-running sessions share one warm-up pass through the page
+// cache — the Seneca scenario the Cluster API exists for.
+type tenantCorpus struct{ n int }
+
+func (d tenantCorpus) Name() string { return "tenant-corpus" }
+func (d tenantCorpus) Len() int     { return d.n }
+func (d tenantCorpus) Sample(epoch, i int) *Sample {
+	s := &Sample{}
+	d.FillSample(epoch, i, s)
+	return s
+}
+func (d tenantCorpus) FillSample(epoch, i int, s *Sample) {
+	s.Index, s.Epoch = i, epoch
+	s.Key = Key{Space: "tenant-corpus", Index: int64(i)}
+	s.RawBytes, s.Bytes = 1<<20, 1<<20
+}
+
+// BenchmarkClusterTenants is the multi-tenant tier: 1, 4, and 16 concurrent
+// sessions on one shared Cluster (the same ConfigA testbed for every tier),
+// each streaming a fixed batch budget of a shared prepared corpus through
+// its own consumer goroutine. Tenants share the page cache (single-flight
+// fills, so the corpus is read from disk once, not once per tenant), the
+// sample pool, and the fairly-arbitrated CPU workers. The reported metric
+// is aggregate samples per wall second — the consolidation win of serving
+// many sessions from one cluster instead of a private substrate per
+// session. The 16-session tier is the acceptance bar: aggregate ≥ 3× the
+// single-session rate on the same testbed.
+func BenchmarkClusterTenants(b *testing.B) {
+	const batchesPerSession = 50
+	for _, tenants := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("sessions=%d", tenants), func(b *testing.B) {
+			var total int64
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cl, err := NewCluster(WithHardware(ConfigA()))
+				if err != nil {
+					b.Fatal(err)
+				}
+				var wg sync.WaitGroup
+				for t := 0; t < tenants; t++ {
+					sess, err := cl.Open(tenantCorpus{n: 2048},
+						WithBatchSize(32),
+						WithIterations(batchesPerSession),
+						WithGPUs(1),
+						WithSeed(uint64(t+1)),
+					)
+					if err != nil {
+						b.Fatal(err)
+					}
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for _, err := range sess.Batches(context.Background()) {
+							if err != nil {
+								b.Error(err)
+								return
+							}
+						}
+						rep, err := sess.Close()
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						atomic.AddInt64(&total, rep.Samples)
+					}()
+				}
+				wg.Wait()
+				if err := cl.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "samples/sec_wall")
 		})
 	}
 }
@@ -147,7 +228,7 @@ func BenchmarkSimulateSmallSession(b *testing.B) {
 	w := workload.Speech(1, 3*time.Second).WithIterations(10)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := Simulate(cfg, w, MinatoFactory(), Params{}); err != nil {
+		if _, err := TrainWorkload(w, WithLoaderFactory(MinatoFactory()), WithHardware(cfg)); err != nil {
 			b.Fatal(err)
 		}
 	}

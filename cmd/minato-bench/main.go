@@ -11,6 +11,7 @@
 //	minato-bench -loader minato -workload speech-3s        # one session
 //	minato-bench -loader pytorch -workload img-seg -quick  # shortened
 //	minato-bench -fleet                 # scale-out tier: 8/32/64 GPUs
+//	minato-bench -tenants               # multi-tenant tier: 1/4/16 sessions
 //
 // Experiment IDs follow the paper: table1..table3, fig1b..fig12, e1 (the
 // artifact appendix run), and abl-* design ablations. Loader and workload
@@ -24,6 +25,8 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/minatoloader/minato"
@@ -39,12 +42,16 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "random seed")
 		quick    = flag.Bool("quick", false, "shrink run lengths (CI mode)")
 		fleet    = flag.Bool("fleet", false, "run the multi-GPU scale-out tier (8/32/64 simulated GPUs)")
+		tenants  = flag.Bool("tenants", false, "run the multi-tenant cluster tier (1/4/16 concurrent sessions)")
 		list     = flag.Bool("list", false, "list experiment IDs and registered names, then exit")
 	)
 	flag.Parse()
 
 	if *fleet {
 		os.Exit(runFleet(*loader, *workload, *seed, *quick))
+	}
+	if *tenants {
+		os.Exit(runTenants(*workload, *seed, *quick))
 	}
 
 	if (*loader != "" || *workload != "") && !*list {
@@ -128,6 +135,68 @@ func runSession(loader, workload string, seed uint64, quick bool) int {
 	fmt.Printf("%s × %s on %d GPUs: train %.1fs, %.1f MB/s, GPU %.1f%%, CPU %.1f%% (%s wall)\n",
 		rep.Workload, rep.Loader, rep.GPUs, rep.TrainTime.Seconds(), rep.Throughput(),
 		rep.AvgGPUUtil, rep.AvgCPUUtil, time.Since(start).Round(time.Millisecond))
+	return 0
+}
+
+// runTenants benchmarks the multi-tenant cluster tier: 1, 4, and 16
+// concurrent training sessions of the given workload co-running on one
+// shared ConfigA cluster — shared page cache (single-flight fills), shared
+// sample pool, fairly-arbitrated CPU workers — reporting aggregate
+// throughput and per-tenant cache attribution.
+func runTenants(workload string, seed uint64, quick bool) int {
+	if workload == "" {
+		workload = "speech-3s"
+	}
+	iters := 100
+	if quick {
+		iters = 25
+	}
+	for _, n := range []int{1, 4, 16} {
+		cl, err := minato.NewCluster(
+			minato.WithHardware(minato.ConfigA()),
+			minato.WithMaxSessions(n),
+		)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		start := time.Now()
+		var wg sync.WaitGroup
+		var samples, hits atomic.Int64
+		failed := atomic.Bool{}
+		for t := 0; t < n; t++ {
+			t := t
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				rep, err := cl.Train(workload,
+					minato.WithSeed(seed+uint64(t)),
+					minato.WithIterations(iters),
+					minato.WithGPUs(1),
+				)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					failed.Store(true)
+					return
+				}
+				samples.Add(rep.Samples)
+				hits.Add(rep.CacheStats.Hits)
+			}()
+		}
+		wg.Wait()
+		if failed.Load() {
+			cl.Close()
+			return 1
+		}
+		wall := time.Since(start)
+		fmt.Printf("tenants %2d × %s: %d samples in %s wall (%.0f samples/s aggregate), %d attributed cache hits\n",
+			n, workload, samples.Load(), wall.Round(time.Millisecond),
+			float64(samples.Load())/wall.Seconds(), hits.Load())
+		if err := cl.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
 	return 0
 }
 

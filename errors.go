@@ -1,0 +1,60 @@
+package minato
+
+import "errors"
+
+// Error taxonomy. Every error the public API returns for misuse is one of
+// the following, so callers can branch without string matching:
+//
+//   - *ConfigError — an option conflict or invalid option value at Open,
+//     Train, TrainWorkload, NewCluster, Cluster.Open, or Cluster.Train.
+//     Matchable with errors.As; Option names the offending With* option.
+//   - ErrSessionConsumed — Batches ranged a second time. A session streams
+//     its batch budget exactly once.
+//   - ErrSessionClosed — Batches called after Close.
+//   - ErrClusterSaturated — Cluster.Open/Train under WithMaxSessions with
+//     the AdmitReject policy while every session slot is taken.
+//   - ErrClusterClosed — an operation on a closed Cluster, including opens
+//     that were queued (AdmitQueue) when the cluster shut down.
+//
+// Runtime errors (a cancelled context, a failing loader) pass through
+// unwrapped: they are the underlying error, not a member of this taxonomy.
+
+// ConfigError reports an invalid or conflicting functional option. It is
+// returned (wrapped in nothing) by every configuration entry point, so
+//
+//	var ce *minato.ConfigError
+//	if errors.As(err, &ce) { log.Fatalf("bad %s: %s", ce.Option, ce.Reason) }
+//
+// distinguishes caller bugs from runtime failures.
+type ConfigError struct {
+	// Option is the name of the offending option ("WithBatchSize",
+	// "WithHardware/WithEnv" for a conflicting pair, ...).
+	Option string
+	// Reason says what is wrong with it.
+	Reason string
+}
+
+func (e *ConfigError) Error() string {
+	return "minato: invalid " + e.Option + ": " + e.Reason
+}
+
+// ErrSessionConsumed is returned when Batches is ranged over a second
+// time: a session streams its batch budget exactly once.
+var ErrSessionConsumed = errors.New("minato: session batches already consumed")
+
+// ErrSessionClosed is returned when Batches is called after Close.
+var ErrSessionClosed = errors.New("minato: session closed")
+
+// ErrClusterSaturated is returned by Cluster.Open and Cluster.Train when
+// the cluster is at WithMaxSessions capacity and admission policy is
+// AdmitReject (the default).
+var ErrClusterSaturated = errors.New("minato: cluster saturated")
+
+// ErrClusterClosed is returned for operations on a closed Cluster,
+// including queued opens released by Close.
+var ErrClusterClosed = errors.New("minato: cluster closed")
+
+// configErr builds a *ConfigError.
+func configErr(option, reason string) error {
+	return &ConfigError{Option: option, Reason: reason}
+}

@@ -1,0 +1,70 @@
+package minato_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+
+	"github.com/minatoloader/minato"
+)
+
+// exampleDataset is a minimal minato.Dataset for the example.
+type exampleDataset struct{ name string }
+
+func (d exampleDataset) Name() string { return d.name }
+func (d exampleDataset) Len() int     { return 128 }
+func (d exampleDataset) Sample(epoch, i int) *minato.Sample {
+	return &minato.Sample{
+		Index: i, Epoch: epoch,
+		Key:      minato.Key{Space: d.name, Index: int64(i)},
+		RawBytes: 1 << 16, Bytes: 1 << 16,
+	}
+}
+
+// ExampleNewCluster hosts two concurrent tenant sessions on one shared
+// testbed: they share the page cache, sample pool, and CPU workers (fairly
+// arbitrated, weighted by priority), while each streams its own batch
+// budget deterministically.
+func ExampleNewCluster() {
+	cluster, err := minato.NewCluster(
+		minato.WithEnv(minato.EnvConfig{Cores: 8}),
+		minato.WithMaxSessions(4),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	var wg sync.WaitGroup
+	reports := make([]*minato.Report, 2)
+	for i := range reports {
+		sess, err := cluster.Open(exampleDataset{name: fmt.Sprintf("tenant-%d", i)},
+			minato.WithBatchSize(16),
+			minato.WithIterations(4),
+			minato.WithPriority(float64(i+1)),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, err := range sess.Batches(context.Background()) {
+				if err != nil {
+					log.Fatal(err)
+				}
+			}
+			reports[i], _ = sess.Close()
+		}()
+	}
+	wg.Wait()
+
+	for i, rep := range reports {
+		fmt.Printf("tenant-%d: %d batches, %d samples\n", i, rep.Batches, rep.Samples)
+	}
+	// Output:
+	// tenant-0: 4 batches, 64 samples
+	// tenant-1: 4 batches, 64 samples
+}

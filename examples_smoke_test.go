@@ -21,3 +21,19 @@ func TestQuickstartRunsEndToEnd(t *testing.T) {
 		t.Fatalf("quickstart did not deliver its batch budget:\n%s", out)
 	}
 }
+
+// TestMultitenantRunsEndToEnd asserts the multitenant example — 16
+// concurrent sessions on one Cluster — runs to completion and verifies its
+// own determinism check (two runs, bit-identical per-tenant reports).
+func TestMultitenantRunsEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping go-run smoke test in -short mode")
+	}
+	out, err := exec.Command("go", "run", "./examples/multitenant").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run ./examples/multitenant: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "bit-identical (deterministic)") {
+		t.Fatalf("multitenant determinism check failed:\n%s", out)
+	}
+}

@@ -254,14 +254,31 @@ func (l *Loader) Name() string {
 	return "minato"
 }
 
+// maxWorkersNow returns the pool's current upper bound: the configured
+// MaxWorkers clamped by the environment's worker governor, when one is set.
+// Re-read on every scheduling decision so a cluster rebalancing tenant
+// quotas takes effect at the next tick.
+func (l *Loader) maxWorkersNow() int {
+	m := l.cfg.MaxWorkers
+	if l.env.Gov != nil {
+		if q := l.env.Gov.WorkerQuota(); q < m {
+			m = q
+		}
+	}
+	if m < 1 {
+		m = 1
+	}
+	return m
+}
+
 // Start implements loader.Loader.
 func (l *Loader) Start(ctx context.Context) error {
 	ctx, l.cancel = context.WithCancel(ctx)
 	l.idx.Start(ctx)
 
 	initial := l.cfg.InitialWorkersPerGPU * len(l.env.GPUs)
-	if initial > l.cfg.MaxWorkers {
-		initial = l.cfg.MaxWorkers
+	if max := l.maxWorkersNow(); initial > max {
+		initial = max
 	}
 	l.sched.SetTarget(initial)
 	for i := 0; i < initial; i++ {

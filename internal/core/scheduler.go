@@ -139,15 +139,18 @@ func (sc *Scheduler) tick(ctx context.Context) {
 	sc.apply(ctx, d)
 }
 
-// apply adjusts the pool toward workers+delta within [1, MaxWorkers].
+// apply adjusts the pool toward workers+delta within [1, maxWorkersNow].
+// The upper bound is re-read each call: when a cluster governor shrinks this
+// tenant's quota (a new tenant joined), the pool retires down to the new
+// bound even on a zero delta.
 func (sc *Scheduler) apply(ctx context.Context, delta int) {
 	cur := sc.Target()
 	next := cur + delta
 	if next < 1 {
 		next = 1
 	}
-	if next > sc.cfg.MaxWorkers {
-		next = sc.cfg.MaxWorkers
+	if max := sc.l.maxWorkersNow(); next > max {
+		next = max
 	}
 	if next == cur {
 		return

@@ -14,12 +14,13 @@
 //   - Disk: C = 1, task work = bytes/bandwidth; concurrent readers share
 //     bandwidth fairly (§5.5).
 //
-// Progress accounting is exact piecewise integration: whenever the device's
-// per-task rate changes, every in-flight task re-computes its remaining work
-// and reschedules its completion alarm.
+// Progress accounting is exact piecewise integration over a shared progress
+// integral (see Device): rate changes are integrated once, device-wide, and
+// only the next-to-finish task keeps a completion alarm armed.
 package device
 
 import (
+	"container/heap"
 	"context"
 	"sync"
 	"time"
@@ -28,14 +29,29 @@ import (
 )
 
 // Device is a shared-capacity resource.
+//
+// Progress is tracked with a shared integral (generalized processor
+// sharing): every in-flight task advances at the common rate min(1, C/k),
+// so a task entering with `work` seconds of compute completes when the
+// device's progress integral reaches entry-progress + work. Completion
+// order is therefore the order of completion targets — only the task with
+// the earliest target needs a kernel timer; everyone else parks
+// deadline-free and is woken when it becomes the front or the device
+// empties toward it. A membership change (a task entering or leaving)
+// costs O(log k) heap work and at most two wakes, where the previous
+// per-entry accounting broadcast a wake to all k occupants on every rate
+// change — quadratic exactly when a multi-tenant cold rush piles hundreds
+// of readers onto a parallelism-4 disk.
 type Device struct {
 	rt   simtime.Runtime
 	name string
 	cap  float64
 
-	mu      sync.Mutex
-	entries map[*entry]struct{}
-	rate    float64 // current per-task progress rate
+	mu       sync.Mutex
+	entries  entryHeap // min-heap by completion target
+	rate     float64   // current per-task progress rate
+	progress float64   // ∫ rate dt, in full-speed seconds
+	lastT    time.Duration
 
 	// pool recycles entries (and their selectors) across Run calls: the
 	// occupancy fast path allocates nothing in steady state.
@@ -49,10 +65,15 @@ type Device struct {
 }
 
 type entry struct {
-	remaining float64 // seconds of work at full rate
-	rate      float64 // rate while parked
-	parkedAt  time.Duration
-	sel       *simtime.Selector
+	target float64 // progress value at which this task completes
+	idx    int     // heap index, -1 when not in the heap
+	// timed records that the task parked with its own completion timer —
+	// every occupant of an uncontended device does, so the kernel's
+	// same-deadline chaining batches them and no wake traffic is needed.
+	// Under contention only the front is timed and later finishers ride
+	// the completion cascade.
+	timed bool
+	sel   *simtime.Selector
 }
 
 // New returns a device with the given parallel capacity (must be positive).
@@ -62,8 +83,7 @@ func New(rt simtime.Runtime, name string, capacity float64) *Device {
 	}
 	return &Device{
 		rt: rt, name: name, cap: capacity,
-		entries: make(map[*entry]struct{}),
-		rate:    1, lastAccount: rt.Now(),
+		rate: 1, lastT: rt.Now(), lastAccount: rt.Now(),
 	}
 }
 
@@ -95,65 +115,131 @@ func (d *Device) Run(ctx context.Context, work time.Duration) error {
 	if e == nil {
 		e = &entry{sel: simtime.NewSelector(d.rt)}
 	}
-	e.remaining = work.Seconds()
 	d.mu.Lock()
-	d.accountLocked()
-	d.entries[e] = struct{}{}
-	d.rebalanceLocked()
+	d.advanceLocked()
+	e.target = d.progress + work.Seconds()
+	heap.Push(&d.entries, e)
+	// Entering needs no wake: this task arms its own deadline below, and a
+	// rate drop only makes the current front's armed deadline early — it
+	// will fire, re-integrate, and re-park for the remainder, which is
+	// exact either way.
+	d.setRateLocked()
 
 	for {
-		e.rate = d.rate
-		e.parkedAt = d.rt.Now()
-		eta := time.Duration(e.remaining/e.rate*float64(time.Second)) + time.Nanosecond
-		// Reset under d.mu: rebalance wakes (TryWake) are attributed to this
-		// cycle from here on. The deadline park replaces the old per-park
-		// alarm goroutine; rate changes still wake the task early.
+		if d.progress >= e.target-1e-9 {
+			d.exitLocked(e)
+			d.pool.Put(e)
+			return nil
+		}
+		var deadline time.Duration
+		if d.rate == 1 || d.entries[0] == e {
+			// Uncontended tasks and the front hold exact completion
+			// timers. A rate drop while parked only makes an armed
+			// deadline early — the task re-integrates and re-parks, which
+			// stays exact; a rate rise is handled by exitLocked waking the
+			// timed entries.
+			deadline = time.Duration((e.target-d.progress)/d.rate*float64(time.Second)) + time.Nanosecond
+			e.timed = true
+		} else {
+			e.timed = false
+		}
+		// Reset under d.mu: membership wakes (TryWake) are attributed to
+		// this cycle from here on.
 		e.sel.Reset()
 		d.mu.Unlock()
 
-		_, err := e.sel.Wait(ctx, eta)
+		_, err := e.sel.Wait(ctx, deadline)
 		d.mu.Lock()
-		now := d.rt.Now()
-		e.remaining -= (now - e.parkedAt).Seconds() * e.rate
-		if err != nil || e.remaining <= 1e-9 {
-			d.accountLocked()
-			delete(d.entries, e)
-			d.rebalanceLocked()
-			d.mu.Unlock()
+		d.advanceLocked()
+		if err != nil {
+			d.exitLocked(e)
 			d.pool.Put(e)
 			return err
 		}
-		// Deadline recomputation or rate-change wake: loop with updated
-		// remaining work.
+		// Completion, promotion to the front, or a rate change: loop and
+		// re-evaluate.
 	}
 }
 
-// rebalanceLocked recomputes the shared rate after a membership change and
-// wakes in-flight tasks if their rate changed.
-func (d *Device) rebalanceLocked() {
+// exitLocked removes e from the heap and wakes whoever's deadline basis
+// changed. A rate rise invalidates every armed (timed) deadline — they are
+// now too late — so the timed entries are woken to re-arm; that only
+// happens while the device is draining out of contention, and only entries
+// that armed before contention are timed. Otherwise, the only task that
+// can need attention is the new front after the old front left, and only
+// when it parked deadline-free. The common uncontended exit — everyone
+// holding an exact timer at an unchanged rate — disturbs nobody. Unlocks
+// d.mu.
+func (d *Device) exitLocked(e *entry) {
+	wasFront := len(d.entries) > 0 && d.entries[0] == e
+	if e.idx >= 0 {
+		heap.Remove(&d.entries, e.idx)
+	}
+	oldRate := d.rate
+	d.setRateLocked()
+	switch {
+	case len(d.entries) == 0:
+	case d.rate > oldRate:
+		for _, en := range d.entries {
+			if en.timed {
+				en.sel.TryWake(0)
+			}
+		}
+		if front := d.entries[0]; !front.timed {
+			front.sel.TryWake(0)
+		}
+	case wasFront:
+		if front := d.entries[0]; !front.timed {
+			front.sel.TryWake(0)
+		}
+	}
+	d.mu.Unlock()
+}
+
+// setRateLocked recomputes the shared per-task rate for the current
+// occupancy.
+func (d *Device) setRateLocked() {
 	k := len(d.entries)
-	newRate := 1.0
+	d.rate = 1.0
 	if float64(k) > d.cap {
-		newRate = d.cap / float64(k)
-	}
-	if newRate == d.rate {
-		return
-	}
-	d.rate = newRate
-	for e := range d.entries {
-		e.sel.TryWake(0)
+		d.rate = d.cap / float64(k)
 	}
 }
 
-// accountLocked integrates busy time up to now.
-func (d *Device) accountLocked() {
+// advanceLocked integrates progress and busy time up to now.
+func (d *Device) advanceLocked() {
 	now := d.rt.Now()
+	if dt := (now - d.lastT).Seconds(); dt > 0 {
+		d.progress += d.rate * dt
+	}
+	d.lastT = now
 	k := float64(len(d.entries))
 	if k > d.cap {
 		k = d.cap
 	}
 	d.busyIntegral += k * (now - d.lastAccount).Seconds()
 	d.lastAccount = now
+}
+
+// accountLocked integrates busy time up to now (progress included, so the
+// two integrals share one clock).
+func (d *Device) accountLocked() { d.advanceLocked() }
+
+// entryHeap is a min-heap of entries by completion target.
+type entryHeap []*entry
+
+func (h entryHeap) Len() int           { return len(h) }
+func (h entryHeap) Less(i, j int) bool { return h[i].target < h[j].target }
+func (h entryHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i]; h[i].idx, h[j].idx = i, j }
+func (h *entryHeap) Push(x any)        { e := x.(*entry); e.idx = len(*h); *h = append(*h, e) }
+func (h *entryHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*h = old[:n-1]
+	return e
 }
 
 // BusySeconds returns the cumulative full-speed work performed, in

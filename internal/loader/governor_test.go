@@ -1,0 +1,76 @@
+package loader
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestFairShareQuotas(t *testing.T) {
+	fs := NewFairShare(16)
+	a := fs.Join(1)
+	if q := a.WorkerQuota(); q != 16 {
+		t.Fatalf("sole tenant quota = %d, want 16", q)
+	}
+	b := fs.Join(1)
+	if qa, qb := a.WorkerQuota(), b.WorkerQuota(); qa != 8 || qb != 8 {
+		t.Fatalf("equal-weight quotas = %d/%d, want 8/8", qa, qb)
+	}
+	c := fs.Join(2)
+	if qa, qc := a.WorkerQuota(), c.WorkerQuota(); qa != 4 || qc != 8 {
+		t.Fatalf("weighted quotas = %d/%d, want 4/8", qa, qc)
+	}
+	b.Leave()
+	c.Leave()
+	if q := a.WorkerQuota(); q != 16 {
+		t.Fatalf("quota after siblings left = %d, want 16", q)
+	}
+	if n := fs.Tenants(); n != 1 {
+		t.Fatalf("tenants = %d, want 1", n)
+	}
+	// Leave is idempotent.
+	b.Leave()
+	if n := fs.Tenants(); n != 1 {
+		t.Fatalf("tenants after double-leave = %d, want 1", n)
+	}
+}
+
+func TestFairShareFloorsAtOne(t *testing.T) {
+	fs := NewFairShare(4)
+	shares := make([]*Share, 16)
+	for i := range shares {
+		shares[i] = fs.Join(1)
+	}
+	for i, s := range shares {
+		if q := s.WorkerQuota(); q != 1 {
+			t.Fatalf("oversubscribed quota[%d] = %d, want 1", i, q)
+		}
+	}
+	// Invalid weights are treated as weight 1 rather than corrupting the
+	// arbitration.
+	s := fs.Join(-3)
+	if q := s.WorkerQuota(); q < 1 {
+		t.Fatalf("non-positive-weight quota = %d", q)
+	}
+}
+
+func TestFairShareConcurrent(t *testing.T) {
+	fs := NewFairShare(32)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				s := fs.Join(float64(j%3 + 1))
+				if s.WorkerQuota() < 1 {
+					t.Error("quota below 1")
+				}
+				s.Leave()
+			}
+		}()
+	}
+	wg.Wait()
+	if n := fs.Tenants(); n != 0 {
+		t.Fatalf("tenants = %d after churn, want 0", n)
+	}
+}

@@ -92,6 +92,11 @@ type Env struct {
 	// data.Pool). A nil pool degrades to plain allocation, so hand-built
 	// environments keep working; sessions and the trainer always set one.
 	Pool *data.Pool
+	// Gov, when set, bounds the loader's preprocessing-worker pool from
+	// outside — the hook multi-tenant clusters use to arbitrate CPU workers
+	// fairly across co-located loaders. A nil governor leaves the loader's
+	// own MaxWorkers as the only bound.
+	Gov WorkerGovernor
 }
 
 // ErrStopped is returned by Next when the loader was stopped before the

@@ -103,6 +103,16 @@ func (d *Disk) ReadRateGauge(rt simtime.Runtime) func() float64 {
 // LRU list is intrusive (nodes carry their own links) and nodes are
 // recycled through a process-wide pool, so cache traffic allocates nothing
 // in steady state beyond the index map itself.
+//
+// A cache may be shared by several tenants (concurrent loading sessions of
+// one cluster). Tenants register with JoinTenant and route their traffic
+// through GetAs/PutAs, which attribute hits, misses, evictions, and resident
+// bytes per tenant; TenantStats exposes the attribution. Capacity is softly
+// partitioned: while more than one tenant is joined, eviction prefers
+// victims from tenants holding more than their equal share of the capacity
+// (scanning a bounded window from the LRU tail), so one tenant's working set
+// cannot silently evict everyone else's. Tenant 0 is the implicit
+// unattributed tenant that plain Get/Put traffic lands on.
 type PageCache struct {
 	mu         sync.Mutex
 	capacity   int64
@@ -111,11 +121,37 @@ type PageCache struct {
 	index      map[data.Key]*cacheNode
 
 	hits, misses, evictions int64
+
+	// tenants[id] carries per-tenant attribution; slot 0 is the implicit
+	// unattributed tenant and is always considered live.
+	tenants     []tenantCounters
+	liveTenants int // joined tenants (excluding slot 0)
+
+	// inflight single-flights fetches: while one reader (the leader) is
+	// filling a key from disk, concurrent readers of the same key park on
+	// waiters instead of issuing redundant reads — the page-lock semantics
+	// of a real OS page cache, and the mechanism that lets co-running
+	// sessions over one dataset share a single warm-up pass.
+	inflight map[data.Key][]*simtime.Waiter
 }
+
+// tenantCounters is one tenant's slice of the cache accounting.
+type tenantCounters struct {
+	live                    bool
+	hits, misses, evictions int64
+	used                    int64 // resident bytes inserted by this tenant
+	diskBytes               int64 // bytes this tenant's leader fetches read from disk
+}
+
+// partitionScanDepth bounds how far eviction scans from the LRU tail for an
+// over-share victim before falling back to the global LRU tail. Bounded so
+// eviction stays O(1)-ish and deterministic.
+const partitionScanDepth = 64
 
 type cacheNode struct {
 	key        data.Key
 	bytes      int64
+	tenant     int32
 	prev, next *cacheNode
 }
 
@@ -135,11 +171,17 @@ func NewPageCache(capacity int64) *PageCache {
 }
 
 // Recycle empties the cache and returns its nodes and index storage to the
-// process-wide pools. Owners call it when the cache's session ends; the
-// cache itself remains usable (empty) afterwards.
+// process-wide pools. It is owned by whoever owns the cache's lifetime — a
+// Cluster, or trainer.Simulate for its private testbed — never by an
+// individual session, which may share the cache with live siblings. Recycle
+// is idempotent: an already-empty cache hands nothing to the pools, and the
+// cache itself remains usable (empty) afterwards. Tenant hit/miss counters
+// survive (they describe traffic, not contents); resident-byte attribution
+// is zeroed with the contents.
 func (c *PageCache) Recycle() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	empty := c.head == nil
 	for n := c.head; n != nil; {
 		next := n.next
 		*n = cacheNode{}
@@ -148,11 +190,64 @@ func (c *PageCache) Recycle() {
 	}
 	c.head, c.tail = nil, nil
 	c.used = 0
+	for i := range c.tenants {
+		c.tenants[i].used = 0
+	}
+	if empty && len(c.index) == 0 {
+		return // second Recycle: nothing to hand to the pools
+	}
 	clear(c.index)
 	cacheIndexPool.Put(c.index)
 	// A small fresh map keeps this cache usable; the warmed buckets go to
 	// the next session's cache.
 	c.index = make(map[data.Key]*cacheNode)
+}
+
+// JoinTenant registers a tenant for attribution and soft partitioning,
+// returning its id for GetAs/PutAs/TenantStats. Slots of departed tenants
+// whose entries have fully left the cache are reused.
+func (c *PageCache) JoinTenant() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.tenants) == 0 {
+		c.tenants = append(c.tenants, tenantCounters{live: true}) // slot 0
+	}
+	c.liveTenants++
+	for id := 1; id < len(c.tenants); id++ {
+		if !c.tenants[id].live && c.tenants[id].used == 0 {
+			c.tenants[id] = tenantCounters{live: true}
+			return id
+		}
+	}
+	c.tenants = append(c.tenants, tenantCounters{live: true})
+	return len(c.tenants) - 1
+}
+
+// LeaveTenant deregisters a tenant. Its resident entries stay cached (they
+// may still serve siblings) but its slot is reclaimed once they age out.
+func (c *PageCache) LeaveTenant(id int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if id > 0 && id < len(c.tenants) && c.tenants[id].live {
+		c.tenants[id].live = false
+		c.liveTenants--
+	}
+}
+
+// TenantStats returns the attribution for one tenant: its hits, misses, and
+// evictions-suffered, plus the bytes it currently holds resident. Capacity
+// is the whole cache's (the partition is soft).
+func (c *PageCache) TenantStats(id int) CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if id < 0 || id >= len(c.tenants) {
+		return CacheStats{Capacity: c.capacity}
+	}
+	t := c.tenants[id]
+	return CacheStats{
+		Capacity: c.capacity, Used: t.used,
+		Hits: t.hits, Misses: t.misses, Evictions: t.evictions,
+	}
 }
 
 func (c *PageCache) unlink(n *cacheNode) {
@@ -181,7 +276,11 @@ func (c *PageCache) pushFront(n *cacheNode) {
 }
 
 // Get reports whether key is cached, marking it most recently used.
-func (c *PageCache) Get(key data.Key) bool {
+// Unattributed traffic; shared sessions use GetAs.
+func (c *PageCache) Get(key data.Key) bool { return c.GetAs(0, key) }
+
+// GetAs is Get with the hit or miss attributed to the given tenant.
+func (c *PageCache) GetAs(tenant int, key data.Key) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if n, ok := c.index[key]; ok {
@@ -190,20 +289,118 @@ func (c *PageCache) Get(key data.Key) bool {
 			c.pushFront(n)
 		}
 		c.hits++
+		if tenant >= 0 && tenant < len(c.tenants) {
+			c.tenants[tenant].hits++
+		}
 		return true
 	}
 	c.misses++
+	if tenant >= 0 && tenant < len(c.tenants) {
+		c.tenants[tenant].misses++
+	}
 	return false
 }
 
 // Put inserts key with the given size, evicting least-recently-used entries
 // until the cache fits. Objects larger than the whole cache are not cached.
-func (c *PageCache) Put(key data.Key, bytes int64) {
+// Unattributed traffic; shared sessions use PutAs.
+func (c *PageCache) Put(key data.Key, bytes int64) { c.PutAs(0, key, bytes) }
+
+// GetOrBegin is the single-flight entry point of the read-through path: a
+// cached key is a hit; an uncached key with no fetch in flight makes the
+// caller the leader (hit=false, waiter=nil — the caller must read the
+// object and CompleteFetch or AbortFetch); an uncached key already being
+// fetched parks the caller as a follower (waiter non-nil — Wait on it,
+// then call GetOrBegin again). Followers are attributed a hit when they
+// find the completed fetch on re-check; only the leader pays a miss.
+func (c *PageCache) GetOrBegin(tenant int, key data.Key, rt simtime.Runtime) (hit bool, waiter *simtime.Waiter) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n, ok := c.index[key]; ok {
+		if c.head != n {
+			c.unlink(n)
+			c.pushFront(n)
+		}
+		c.hits++
+		if tenant >= 0 && tenant < len(c.tenants) {
+			c.tenants[tenant].hits++
+		}
+		return true, nil
+	}
+	if ws, ok := c.inflight[key]; ok {
+		w := rt.NewWaiter()
+		c.inflight[key] = append(ws, w)
+		return false, w
+	}
+	if c.inflight == nil {
+		c.inflight = make(map[data.Key][]*simtime.Waiter)
+	}
+	c.inflight[key] = nil
+	c.misses++
+	if tenant >= 0 && tenant < len(c.tenants) {
+		c.tenants[tenant].misses++
+	}
+	return false, nil
+}
+
+// CompleteFetch publishes a leader's fetched object and releases the key's
+// followers. The disk bytes the fetch moved are attributed to the leader's
+// tenant (see TenantDiskBytes).
+func (c *PageCache) CompleteFetch(tenant int, key data.Key, bytes int64) {
+	c.mu.Lock()
+	if tenant >= 0 && tenant < len(c.tenants) {
+		c.tenants[tenant].diskBytes += bytes
+	}
+	c.putAsLocked(tenant, key, bytes)
+	ws := c.inflight[key]
+	delete(c.inflight, key)
+	c.mu.Unlock()
+	for _, w := range ws {
+		w.Wake()
+	}
+}
+
+// TenantDiskBytes returns the disk bytes a tenant's own cache fills have
+// read — the per-session answer to "how much disk traffic did I cause" on
+// a disk whose global counter mixes every tenant.
+func (c *PageCache) TenantDiskBytes(id int) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if id < 0 || id >= len(c.tenants) {
+		return 0
+	}
+	return c.tenants[id].diskBytes
+}
+
+// AbortFetch releases a key's followers without publishing; the next
+// reader becomes the new leader.
+func (c *PageCache) AbortFetch(key data.Key) {
+	c.mu.Lock()
+	ws := c.inflight[key]
+	delete(c.inflight, key)
+	c.mu.Unlock()
+	for _, w := range ws {
+		w.Wake()
+	}
+}
+
+// PutAs is Put with the insertion attributed to the given tenant. While
+// several tenants are joined, eviction prefers victims belonging to tenants
+// over their equal share of the capacity — the inserting tenant's own
+// over-share entries first — before falling back to the global LRU tail.
+func (c *PageCache) PutAs(tenant int, key data.Key, bytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.putAsLocked(tenant, key, bytes)
+}
+
+func (c *PageCache) putAsLocked(tenant int, key data.Key, bytes int64) {
 	if bytes > c.capacity {
 		return
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	if tenant < 0 || tenant >= len(c.tenants) {
+		tenant = 0
+	}
 	if n, ok := c.index[key]; ok {
 		if c.head != n {
 			c.unlink(n)
@@ -212,7 +409,7 @@ func (c *PageCache) Put(key data.Key, bytes int64) {
 		return
 	}
 	for c.used+bytes > c.capacity {
-		back := c.tail
+		back := c.victimLocked(tenant)
 		if back == nil {
 			break
 		}
@@ -220,14 +417,59 @@ func (c *PageCache) Put(key data.Key, bytes int64) {
 		delete(c.index, back.key)
 		c.used -= back.bytes
 		c.evictions++
+		if vt := int(back.tenant); vt >= 0 && vt < len(c.tenants) {
+			c.tenants[vt].used -= back.bytes
+			c.tenants[vt].evictions++
+		}
 		*back = cacheNode{}
 		cacheNodePool.Put(back)
 	}
 	n := cacheNodePool.Get().(*cacheNode)
-	n.key, n.bytes = key, bytes
+	n.key, n.bytes, n.tenant = key, bytes, int32(tenant)
 	c.pushFront(n)
 	c.index[key] = n
 	c.used += bytes
+	if len(c.tenants) > 0 {
+		c.tenants[tenant].used += bytes
+	}
+}
+
+// victimLocked picks the next eviction victim for an insertion by tenant.
+// Single-tenant caches (the common case) evict the plain LRU tail. With
+// multiple joined tenants the scan walks at most partitionScanDepth nodes
+// from the tail preferring, in order, the inserting tenant's own entries
+// when it is over its equal share, then any over-share tenant's entry; the
+// plain tail is the fallback so eviction always makes progress.
+func (c *PageCache) victimLocked(tenant int) *cacheNode {
+	if c.tail == nil {
+		return nil
+	}
+	if c.liveTenants <= 1 {
+		return c.tail
+	}
+	share := c.capacity / int64(c.liveTenants)
+	overSelf := len(c.tenants) > tenant && c.tenants[tenant].used > share
+	var anyOver *cacheNode
+	n := c.tail
+	for i := 0; n != nil && i < partitionScanDepth; i++ {
+		vt := int(n.tenant)
+		if vt >= 0 && vt < len(c.tenants) && c.tenants[vt].used > share {
+			if overSelf && vt == tenant {
+				return n
+			}
+			if anyOver == nil {
+				anyOver = n
+			}
+			if !overSelf {
+				return n
+			}
+		}
+		n = n.prev
+	}
+	if anyOver != nil {
+		return anyOver
+	}
+	return c.tail
 }
 
 // CacheStats is a snapshot of cache counters.
@@ -256,21 +498,53 @@ func (c *PageCache) HitRate() float64 {
 	return float64(s.Hits) / float64(total)
 }
 
-// Store is the sample-loading path: page cache over disk.
+// Store is the sample-loading path: page cache over disk. Tenant routes the
+// cache traffic for attribution when the cache is shared by several sessions
+// (zero — the unattributed tenant — when it is not); each cluster session
+// holds its own Store value pointing at the shared disk and cache.
 type Store struct {
-	Disk  *Disk
-	Cache *PageCache // nil disables caching
+	Disk   *Disk
+	Cache  *PageCache // nil disables caching
+	Tenant int
+}
+
+// WithTenant returns a copy of the store routing cache traffic as the given
+// tenant.
+func (st *Store) WithTenant(id int) *Store {
+	cp := *st
+	cp.Tenant = id
+	return &cp
 }
 
 // ReadSample loads a sample's raw bytes, hitting the cache when possible
-// and stamping the sample's LoadedAt time.
+// and stamping the sample's LoadedAt time. Cache fills are single-flighted:
+// the first reader of an uncached key fetches it from disk while concurrent
+// readers of the same key — typically sibling sessions warming up over a
+// shared dataset — park until the fetch lands and then count a shared hit,
+// instead of issuing redundant reads for bytes already on their way.
 func (st *Store) ReadSample(ctx context.Context, rt simtime.Runtime, s *data.Sample) error {
-	if st.Cache == nil || !st.Cache.Get(s.Key) {
+	if st.Cache == nil {
 		if err := st.Disk.Read(ctx, s.RawBytes); err != nil {
 			return err
 		}
-		if st.Cache != nil {
-			st.Cache.Put(s.Key, s.RawBytes)
+		s.LoadedAt = rt.Now()
+		return nil
+	}
+	for {
+		hit, waiter := st.Cache.GetOrBegin(st.Tenant, s.Key, rt)
+		if hit {
+			break
+		}
+		if waiter == nil { // leader: fetch and publish
+			if err := st.Disk.Read(ctx, s.RawBytes); err != nil {
+				st.Cache.AbortFetch(s.Key)
+				return err
+			}
+			st.Cache.CompleteFetch(st.Tenant, s.Key, s.RawBytes)
+			break
+		}
+		if err := waiter.Wait(ctx); err != nil {
+			return err
 		}
 	}
 	s.LoadedAt = rt.Now()

@@ -175,12 +175,25 @@ func (r *Report) AvgSlowProportion() float64 {
 // Run executes one training session on an existing testbed. It must be
 // called from a task tracked by the runtime (e.g. inside Virtual.Run).
 func Run(rt simtime.Runtime, tb *hardware.Testbed, w workload.Workload, f Factory, p Params) (*Report, error) {
+	env := &loader.Env{RT: rt, CPU: tb.CPU, GPUs: tb.GPUs, Store: tb.Store,
+		WG: simtime.NewWaitGroup(rt), Pool: data.NewPool()}
+	return RunEnv(env, tb.Disk, tb.Cache, w, f, p)
+}
+
+// RunEnv executes one training session over an existing environment — the
+// entry point for clusters, whose sessions share one runtime, CPU, GPU set,
+// disk, cache, and pool. The env's WG must be private to this session (it is
+// waited on during teardown); disk and cache may be nil when the env has no
+// storage statistics to report. Cache statistics in the report are
+// attributed to env.Store.Tenant when the store routes a registered tenant,
+// so co-running sessions see their own hits, not the cluster total. Like
+// Run, it must be called from a task tracked by the runtime.
+func RunEnv(env *loader.Env, disk *storage.Disk, cache *storage.PageCache, w workload.Workload, f Factory, p Params) (*Report, error) {
 	p.fillDefaults()
 	ctx := context.Background()
 
-	wg := simtime.NewWaitGroup(rt)
-	env := &loader.Env{RT: rt, CPU: tb.CPU, GPUs: tb.GPUs, Store: tb.Store, WG: wg,
-		Pool: data.NewPool()}
+	rt := env.RT
+	wg := env.WG
 	spec := w.Spec()
 	ld := f.New(env, spec)
 
@@ -194,16 +207,16 @@ func Run(rt simtime.Runtime, tb *hardware.Testbed, w workload.Workload, f Factor
 	rep := &Report{
 		Workload: w.Name,
 		Loader:   loaderName,
-		GPUs:     len(tb.GPUs),
+		GPUs:     len(env.GPUs),
 	}
 
 	var trainedBytes atomic.Int64
 	collector := metrics.NewCollector(rt, p.MetricsInterval)
 	if p.Collect {
-		cpuGauge := tb.CPU.UtilizationGauge()
+		cpuGauge := env.CPU.UtilizationGauge()
 		collector.Register("cpu", func() float64 { return 100 * cpuGauge() })
-		gpuGauges := make([]func() float64, len(tb.GPUs))
-		for i, g := range tb.GPUs {
+		gpuGauges := make([]func() float64, len(env.GPUs))
+		for i, g := range env.GPUs {
 			gpuGauges[i] = g.UtilizationGauge(rt)
 		}
 		collector.Register("gpu", func() float64 {
@@ -213,7 +226,9 @@ func Run(rt simtime.Runtime, tb *hardware.Testbed, w workload.Workload, f Factor
 			}
 			return 100 * sum / float64(len(gpuGauges))
 		})
-		collector.Register("disk", tb.Disk.ReadRateGauge(rt))
+		if disk != nil {
+			collector.Register("disk", disk.ReadRateGauge(rt))
+		}
 		collector.Register("throughput", metrics.CounterRateGauge(rt, func() float64 {
 			return float64(trainedBytes.Load())
 		}))
@@ -229,9 +244,9 @@ func Run(rt simtime.Runtime, tb *hardware.Testbed, w workload.Workload, f Factor
 		rep.SlowThreshold = comp.threshold
 	}
 
-	startBusyCPU := tb.CPU.BusySeconds()
+	startBusyCPU := env.CPU.BusySeconds()
 	startBusyGPU := 0.0
-	for _, g := range tb.GPUs {
+	for _, g := range env.GPUs {
 		startBusyGPU += g.BusySeconds()
 	}
 	start := rt.Now()
@@ -246,11 +261,11 @@ func Run(rt simtime.Runtime, tb *hardware.Testbed, w workload.Workload, f Factor
 	var globalIters atomic.Int64
 	var lastEnd atomic.Int64
 	var traceMu sync.Mutex
-	perGPUEpoch := spec.BatchesPerEpoch() / len(tb.GPUs)
-	for g := range tb.GPUs {
+	perGPUEpoch := spec.BatchesPerEpoch() / len(env.GPUs)
+	for g := range env.GPUs {
 		g := g
 		consumers.Go("gpu-consumer", func() {
-			dev := tb.GPUs[g]
+			dev := env.GPUs[g]
 			sinceValidation := 0
 			for {
 				b, err := ld.Next(ctx, g)
@@ -340,12 +355,12 @@ func Run(rt simtime.Runtime, tb *hardware.Testbed, w workload.Workload, f Factor
 	// Whole-run utilization from device busy accounting.
 	dur := rep.TrainTime.Seconds()
 	if dur > 0 {
-		rep.AvgCPUUtil = 100 * (tb.CPU.BusySeconds() - startBusyCPU) / (tb.CPU.Capacity() * dur)
+		rep.AvgCPUUtil = 100 * (env.CPU.BusySeconds() - startBusyCPU) / (env.CPU.Capacity() * dur)
 		busyGPU := 0.0
-		for _, g := range tb.GPUs {
+		for _, g := range env.GPUs {
 			busyGPU += g.BusySeconds()
 		}
-		rep.AvgGPUUtil = 100 * (busyGPU - startBusyGPU) / (float64(len(tb.GPUs)) * dur)
+		rep.AvgGPUUtil = 100 * (busyGPU - startBusyGPU) / (float64(len(env.GPUs)) * dur)
 		if rep.AvgGPUUtil > 100 {
 			rep.AvgGPUUtil = 100
 		}
@@ -364,8 +379,19 @@ func Run(rt simtime.Runtime, tb *hardware.Testbed, w workload.Workload, f Factor
 		rep.SlowHist = comp.hist
 		rep.SlowPropByIt = comp.props
 	}
-	rep.CacheStats = tb.Cache.Stats()
-	rep.DiskBytes = tb.Disk.BytesRead()
+	if cache != nil && env.Store != nil && env.Store.Tenant > 0 {
+		// Shared-substrate session: attribute storage traffic to this
+		// tenant rather than reporting cluster-wide totals.
+		rep.CacheStats = cache.TenantStats(env.Store.Tenant)
+		rep.DiskBytes = cache.TenantDiskBytes(env.Store.Tenant)
+		return rep, nil
+	}
+	if cache != nil {
+		rep.CacheStats = cache.Stats()
+	}
+	if disk != nil {
+		rep.DiskBytes = disk.BytesRead()
+	}
 	return rep, nil
 }
 

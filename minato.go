@@ -39,9 +39,30 @@
 //	)
 //	// rep.TrainTime, rep.AvgGPUUtil, ...
 //
+// Many concurrent sessions share one machine through a Cluster — one
+// runtime, worker pool, page cache, and sample pool, multiplexed across
+// tenants with admission control and priority-weighted worker arbitration:
+//
+//	cluster, err := minato.NewCluster(
+//	    minato.WithHardware(minato.ConfigA()),
+//	    minato.WithMaxSessions(16),
+//	)
+//	sess, err := cluster.Open(dataset, minato.WithPriority(2))
+//	rep, err := cluster.Train("speech-3s", minato.WithLoader("pytorch"))
+//
+// Open and Train are thin wrappers over an implicit single-session
+// cluster. API misuse surfaces as typed errors — *ConfigError plus the
+// sentinels ErrSessionConsumed, ErrSessionClosed, ErrClusterSaturated,
+// ErrClusterClosed; see errors.go for the taxonomy.
+//
+// The v1 shims New, Simulate, and BaselineFactory remain only for
+// downstream compatibility, are no longer used inside this repository,
+// and will be removed in v3 — migrate to Open, Train/TrainWorkload, and
+// LoaderByName.
+//
 // For embedding the loader around custom datasets and pipelines, see
-// examples/quickstart; README.md has the quickstart walkthrough and
-// DESIGN.md the simulation substitution table.
+// examples/quickstart and examples/multitenant; README.md has the
+// quickstart walkthrough and DESIGN.md the simulation substitution table.
 package minato
 
 import (
@@ -99,6 +120,11 @@ type (
 	Factory = trainer.Factory
 	// HardwareConfig describes a testbed.
 	HardwareConfig = hardware.Config
+	// CacheStats is a snapshot of page-cache counters (whole-cache or
+	// per-tenant, depending on where it came from).
+	CacheStats = storage.CacheStats
+	// PoolStats is a snapshot of sample-pool activity.
+	PoolStats = data.PoolStats
 	// Testbed is an instantiated simulated machine.
 	Testbed = hardware.Testbed
 	// Runtime is the virtual/real time abstraction.
@@ -108,7 +134,8 @@ type (
 // New returns a MinatoLoader over spec, running on env.
 //
 // Deprecated: use Open, which wires the environment, spec, and loader from
-// functional options and streams batches through Session.Batches.
+// functional options and streams batches through Session.Batches. New is
+// unused inside this repository and will be removed in v3.
 func New(env *Env, spec Spec, cfg Config) *Loader { return core.New(env, spec, cfg) }
 
 // DefaultConfig returns the paper's MinatoLoader configuration (§5.1).
@@ -144,7 +171,8 @@ func ConfigB() HardwareConfig { return hardware.ConfigB() }
 //
 // Deprecated: use Train (registered workloads) or TrainWorkload (workload
 // values), which resolve loaders through the registry and accept the same
-// functional options as Open.
+// functional options as Open. Simulate is unused inside this repository
+// and will be removed in v3.
 func Simulate(cfg HardwareConfig, w Workload, f Factory, p Params) (*Report, error) {
 	return trainer.Simulate(cfg, w, f, p)
 }
@@ -173,6 +201,8 @@ func MinatoFactoryWith(cfg Config) Factory { return loaders.Minato(cfg) }
 // "pecan", or "dali".
 //
 // Deprecated: use LoaderByName, which resolves any registered loader.
+// BaselineFactory is unused inside this repository and will be removed in
+// v3.
 func BaselineFactory(name string) (Factory, bool) { return loaders.ByName(name) }
 
 // AllFactories returns the paper's four systems in comparison order.

@@ -13,15 +13,11 @@ func TestPublicAPISession(t *testing.T) {
 	cfg := ConfigA().WithGPUs(2)
 	w := SpeechWorkload(1, 3*time.Second).WithIterations(40)
 
-	pt, ok := BaselineFactory("pytorch")
-	if !ok {
-		t.Fatal("pytorch baseline missing")
-	}
-	ptRep, err := Simulate(cfg, w, pt, Params{})
+	ptRep, err := TrainWorkload(w, WithLoader("pytorch"), WithHardware(cfg))
 	if err != nil {
 		t.Fatal(err)
 	}
-	mnRep, err := Simulate(cfg, w, MinatoFactory(), Params{})
+	mnRep, err := TrainWorkload(w, WithLoaderFactory(MinatoFactory()), WithHardware(cfg))
 	if err != nil {
 		t.Fatal(err)
 	}

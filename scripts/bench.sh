@@ -27,15 +27,15 @@ done
 # The perf-tracking set: end-to-end session throughput, kernel fixed cost,
 # the headline experiment (simulated-time metrics must stay stable), and the
 # hot-path microbenchmarks.
-BENCH="${BENCH:-BenchmarkLoaderSessionThroughput|BenchmarkSimulateSmallSession|BenchmarkHeadlineSpeedup|BenchmarkPipelineCostModel|BenchmarkFleetSession}"
-MICRO="${MICRO:-BenchmarkVirtualSleep|BenchmarkSelectorWakeWait|BenchmarkVirtualSameDeadlineSleepers|BenchmarkProfilerRecord}"
+BENCH="${BENCH:-BenchmarkLoaderSessionThroughput|BenchmarkSimulateSmallSession|BenchmarkHeadlineSpeedup|BenchmarkPipelineCostModel|BenchmarkFleetSession|BenchmarkClusterTenants}"
+MICRO="${MICRO:-BenchmarkVirtualSleep|BenchmarkSelectorWakeWait|BenchmarkVirtualSameDeadlineSleepers|BenchmarkProfilerRecord|BenchmarkPoolSharedContention}"
 
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
 go test -run '^$' -bench "$BENCH" -benchmem -benchtime "$BENCHTIME" . | tee "$tmp"
 go test -run '^$' -bench "$MICRO" -benchmem -benchtime "$MICROTIME" \
-  ./internal/simtime ./internal/core | tee -a "$tmp"
+  ./internal/simtime ./internal/core ./internal/data | tee -a "$tmp"
 
 go run ./scripts/benchjson -label "$LABEL" -out "$OUT" <"$tmp"
 echo "wrote $OUT"

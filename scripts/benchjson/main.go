@@ -9,12 +9,15 @@
 // "metrics".
 //
 // The diff subcommand compares two snapshots and fails (exit 1) when any
-// benchmark present in both regresses allocs/op by more than the threshold
-// — allocation counts are deterministic enough to gate in CI, unlike wall
-// times:
+// benchmark present in both regresses allocs/op — or a samples/sec
+// throughput metric — by more than the threshold. Allocation counts are
+// deterministic enough to gate tightly; throughput is wall-clock and
+// machine-dependent, so its gate exists to catch collapses (a lost
+// consolidation win, an accidental O(n²)), not single-digit noise:
 //
 //	go run ./scripts/benchjson diff BENCH_old.json BENCH_new.json
 //	go run ./scripts/benchjson diff -max-allocs-regress 0.15 old.json new.json
+//	go run ./scripts/benchjson diff -max-throughput-regress 0.15 old.json new.json
 package main
 
 import (
@@ -98,6 +101,8 @@ func runDiff(args []string) int {
 	fs := flag.NewFlagSet("diff", flag.ExitOnError)
 	maxRegress := fs.Float64("max-allocs-regress", 0.15,
 		"maximum allowed fractional allocs/op increase per benchmark")
+	maxThroughputRegress := fs.Float64("max-throughput-regress", 0.15,
+		"maximum allowed fractional samples/sec decrease per benchmark")
 	_ = fs.Parse(args)
 	if fs.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: benchjson diff [-max-allocs-regress F] old.json new.json")
@@ -137,6 +142,21 @@ func runDiff(args []string) int {
 				100**maxRegress)
 			failed++
 		}
+		for metric, ov := range o.Metrics {
+			if !isThroughputMetric(metric) || ov <= 0 {
+				continue
+			}
+			nv, ok := nw.Metrics[metric]
+			if !ok {
+				continue
+			}
+			fmt.Printf("  %-48s %s (%s)\n", metric, delta(ov, nv), "throughput")
+			if nv < ov*(1-*maxThroughputRegress) {
+				fmt.Printf("  FAIL: %s regressed %.1f%% (%.0f -> %.0f), budget %.0f%%\n",
+					metric, 100*(1-nv/ov), ov, nv, 100**maxThroughputRegress)
+				failed++
+			}
+		}
 	}
 	for n := range newRec.Benchmarks {
 		if _, ok := oldRec.Benchmarks[n]; !ok {
@@ -149,6 +169,13 @@ func runDiff(args []string) int {
 	}
 	fmt.Println("benchjson diff: allocs/op within budget for all compared benchmarks")
 	return 0
+}
+
+// isThroughputMetric reports whether a custom-metric key is a samples/sec
+// throughput the diff gate enforces ("samples/sec_wall", "samples_per_sec",
+// ...).
+func isThroughputMetric(name string) bool {
+	return strings.HasPrefix(name, "samples/sec") || strings.HasPrefix(name, "samples_per_sec")
 }
 
 func loadRecord(path string) (*Record, error) {

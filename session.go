@@ -7,103 +7,168 @@ import (
 	"io"
 	"iter"
 	"strings"
+	"sync/atomic"
 	"time"
 
-	"github.com/minatoloader/minato/internal/data"
-	"github.com/minatoloader/minato/internal/hardware"
 	"github.com/minatoloader/minato/internal/loaders"
 	"github.com/minatoloader/minato/internal/simtime"
-	"github.com/minatoloader/minato/internal/storage"
-	"github.com/minatoloader/minato/internal/trainer"
 	"github.com/minatoloader/minato/internal/workload"
 )
 
-// ErrSessionConsumed is returned when Batches is ranged over a second
-// time: a session streams its batch budget exactly once.
-var ErrSessionConsumed = errors.New("minato: session batches already consumed")
-
-// ErrSessionClosed is returned when Batches is called after Close.
-var ErrSessionClosed = errors.New("minato: session closed")
-
-// sessionOptions accumulates the functional options of Open, Train, and
-// TrainWorkload. Fields left at their zero value take the documented
-// defaults.
+// sessionOptions accumulates the functional options of Open, Train,
+// TrainWorkload, Cluster.Open, and Cluster.Train. Fields left at their zero
+// value take the documented defaults.
 type sessionOptions struct {
-	pipeline   *Pipeline
-	batchSize  int
-	loaderName string
-	factory    *Factory
-	loaderCfg  *Config
-	hw         *HardwareConfig
-	env        *EnvConfig
-	gpus       int
-	rt         Runtime
-	iterations int
-	epochs     int
-	seed       uint64
-	params     Params
-	retain     bool
+	pipeline    *Pipeline
+	batchSize   int
+	loaderName  string
+	factory     *Factory
+	loaderCfg   *Config
+	hw          *HardwareConfig
+	env         *EnvConfig
+	gpus        int
+	rt          Runtime
+	iterations  int
+	epochs      int
+	seed        uint64
+	params      Params
+	retain      bool
+	weight      float64
+	prioritySet bool
 }
 
-// Option configures a Session (Open) or a training run (Train,
-// TrainWorkload).
-type Option func(*sessionOptions)
+// Option configures a session: Open and Cluster.Open, or a training run
+// (Train, TrainWorkload, Cluster.Train). Options that size hardware
+// (WithHardware, WithEnv, WithGPUs, WithRuntime) are SharedOptions — on a
+// standalone Open/Train they configure the implicit cluster; on an explicit
+// Cluster they belong to NewCluster instead.
+type Option interface{ applySession(*sessionOptions) }
+
+// ClusterOption configures a Cluster (NewCluster): the shared testbed, the
+// session capacity, and the admission policy.
+type ClusterOption interface{ applyCluster(*clusterOptions) }
+
+// SharedOption is accepted by both NewCluster and the standalone
+// Open/Train entry points.
+type SharedOption interface {
+	Option
+	ClusterOption
+}
+
+type sessionOption func(*sessionOptions)
+
+func (f sessionOption) applySession(o *sessionOptions) { f(o) }
+
+type clusterOption func(*clusterOptions)
+
+func (f clusterOption) applyCluster(o *clusterOptions) { f(o) }
+
+type sharedOption struct {
+	session func(*sessionOptions)
+	cluster func(*clusterOptions)
+}
+
+func (o sharedOption) applySession(s *sessionOptions) { o.session(s) }
+func (o sharedOption) applyCluster(c *clusterOptions) { o.cluster(c) }
 
 // WithPipeline sets the preprocessing pipeline samples flow through.
 // Open-only (training workloads carry their own pipeline); the default is
 // an empty pipeline that delivers samples unchanged.
-func WithPipeline(p *Pipeline) Option { return func(o *sessionOptions) { o.pipeline = p } }
+func WithPipeline(p *Pipeline) Option {
+	return sessionOption(func(o *sessionOptions) { o.pipeline = p })
+}
 
 // WithBatchSize sets how many samples each delivered batch holds. Open
 // defaults to 32; Train defaults to the workload's Table 3 value.
-func WithBatchSize(n int) Option { return func(o *sessionOptions) { o.batchSize = n } }
+func WithBatchSize(n int) Option {
+	return sessionOption(func(o *sessionOptions) { o.batchSize = n })
+}
 
 // WithLoader selects the data loader backend by registered name
 // (RegisterLoader; "pytorch", "pecan", "dali", and "minato" are built in).
 // The default is "minato".
-func WithLoader(name string) Option { return func(o *sessionOptions) { o.loaderName = name } }
+func WithLoader(name string) Option {
+	return sessionOption(func(o *sessionOptions) { o.loaderName = name })
+}
 
 // WithLoaderFactory bypasses the registry and uses the given factory
 // directly — for one-off configurations not worth registering.
-func WithLoaderFactory(f Factory) Option { return func(o *sessionOptions) { o.factory = &f } }
+func WithLoaderFactory(f Factory) Option {
+	return sessionOption(func(o *sessionOptions) { o.factory = &f })
+}
 
 // WithLoaderConfig runs MinatoLoader with a custom Config instead of the
 // paper's defaults. It conflicts with selecting a non-minato loader.
-func WithLoaderConfig(cfg Config) Option { return func(o *sessionOptions) { o.loaderCfg = &cfg } }
+func WithLoaderConfig(cfg Config) Option {
+	return sessionOption(func(o *sessionOptions) { o.loaderCfg = &cfg })
+}
 
-// WithHardware runs the session on one of the simulated testbeds
-// (ConfigA, ConfigB, or a custom HardwareConfig). Without it, Open sizes a
-// lightweight environment via WithEnv defaults and Train uses ConfigA.
-func WithHardware(cfg HardwareConfig) Option { return func(o *sessionOptions) { o.hw = &cfg } }
+// WithHardware runs on one of the simulated testbeds (ConfigA, ConfigB, or
+// a custom HardwareConfig). As a NewCluster option it sizes the shared
+// testbed; on a standalone Open/Train it sizes the implicit cluster.
+// Sessions opened on an explicit Cluster cannot carry it — the hardware is
+// cluster-owned.
+func WithHardware(cfg HardwareConfig) SharedOption {
+	return sharedOption{
+		session: func(o *sessionOptions) { o.hw = &cfg },
+		cluster: func(o *clusterOptions) { o.hw = &cfg },
+	}
+}
 
-// WithEnv sizes a custom embedder environment (cores, disk, cache) for
-// Open. It conflicts with WithHardware.
-func WithEnv(cfg EnvConfig) Option { return func(o *sessionOptions) { o.env = &cfg } }
+// WithEnv sizes a custom embedder environment (cores, disk, cache) instead
+// of a paper testbed. It conflicts with WithHardware and, like it, belongs
+// to the cluster level.
+func WithEnv(cfg EnvConfig) SharedOption {
+	return sharedOption{
+		session: func(o *sessionOptions) { o.env = &cfg },
+		cluster: func(o *clusterOptions) { o.env = &cfg },
+	}
+}
 
-// WithGPUs overrides the GPU (consumer) count of the testbed or
-// environment.
-func WithGPUs(n int) Option { return func(o *sessionOptions) { o.gpus = n } }
+// WithGPUs overrides the GPU (consumer) count. As a NewCluster option it
+// sizes the shared testbed; on a session opened on an explicit Cluster it
+// selects how many of the cluster's GPUs the session's delivery shards
+// across (at most the cluster's count).
+func WithGPUs(n int) SharedOption {
+	return sharedOption{
+		session: func(o *sessionOptions) { o.gpus = n },
+		cluster: func(o *clusterOptions) { o.gpus = n },
+	}
+}
 
-// WithRuntime runs the session on an existing runtime — e.g.
-// NewRealRuntime to stream against the wall clock, or a shared virtual
-// kernel. Open-only; the default is a fresh virtual runtime.
-func WithRuntime(rt Runtime) Option { return func(o *sessionOptions) { o.rt = rt } }
+// WithRuntime runs on an existing runtime — e.g. NewRealRuntime to stream
+// against the wall clock, or a shared virtual kernel. Cluster-level; the
+// default is a fresh deterministic virtual runtime per cluster.
+func WithRuntime(rt Runtime) SharedOption {
+	return sharedOption{
+		session: func(o *sessionOptions) { o.rt = rt },
+		cluster: func(o *clusterOptions) { o.rt = rt },
+	}
+}
 
 // WithIterations bounds the session to n delivered batches, wrapping
 // epochs as needed. It takes precedence over WithEpochs.
-func WithIterations(n int) Option { return func(o *sessionOptions) { o.iterations = n } }
+func WithIterations(n int) Option {
+	return sessionOption(func(o *sessionOptions) { o.iterations = n })
+}
 
 // WithEpochs bounds the session to n full passes over the dataset
 // (drop-last semantics). The default budget is one epoch.
-func WithEpochs(n int) Option { return func(o *sessionOptions) { o.epochs = n } }
+func WithEpochs(n int) Option {
+	return sessionOption(func(o *sessionOptions) { o.epochs = n })
+}
 
 // WithSeed keys every random draw of the session (shuffling, synthetic
 // sample properties). Identical seeds reproduce runs exactly. Default 1.
-func WithSeed(seed uint64) Option { return func(o *sessionOptions) { o.seed = seed } }
+func WithSeed(seed uint64) Option {
+	return sessionOption(func(o *sessionOptions) { o.seed = seed })
+}
 
 // WithParams tunes what a training run records (time series, batch
 // composition, per-sample traces). Train/TrainWorkload only.
-func WithParams(p Params) Option { return func(o *sessionOptions) { o.params = p } }
+func WithParams(p Params) Option {
+	return sessionOption(func(o *sessionOptions) { o.params = p })
+}
 
 // WithRetainBatches disables the session's batch recycling: every batch
 // yielded by Batches stays valid indefinitely, at the cost of allocating
@@ -111,40 +176,70 @@ func WithParams(p Params) Option { return func(o *sessionOptions) { o.params = p
 // samples inside it) is recycled when the loop takes the next step, so
 // callers that keep references across iterations must either copy what
 // they need or set this option. Open-only.
-func WithRetainBatches() Option { return func(o *sessionOptions) { o.retain = true } }
+func WithRetainBatches() Option {
+	return sessionOption(func(o *sessionOptions) { o.retain = true })
+}
+
+// WithPriority weights the session in the cluster's fair arbitration of
+// preprocessing workers: a weight-2 tenant receives twice the worker quota
+// of a weight-1 tenant (always at least one worker). The default weight is
+// 1. Weights must be positive.
+func WithPriority(weight float64) Option {
+	return sessionOption(func(o *sessionOptions) { o.weight = weight; o.prioritySet = true })
+}
 
 func buildOptions(opts []Option) *sessionOptions {
-	o := &sessionOptions{seed: 1}
+	o := &sessionOptions{seed: 1, weight: 1}
 	for _, opt := range opts {
-		opt(o)
+		opt.applySession(o)
 	}
 	return o
 }
 
+// validate checks option values and conflicts. Every failure is a
+// *ConfigError so callers can errors.As on misuse.
 func (o *sessionOptions) validate() error {
 	if o.batchSize < 0 {
-		return fmt.Errorf("minato: batch size %d < 0", o.batchSize)
+		return configErr("WithBatchSize", fmt.Sprintf("batch size %d < 0", o.batchSize))
 	}
 	if o.iterations < 0 {
-		return fmt.Errorf("minato: iteration budget %d < 0", o.iterations)
+		return configErr("WithIterations", fmt.Sprintf("iteration budget %d < 0", o.iterations))
 	}
 	if o.epochs < 0 {
-		return fmt.Errorf("minato: epoch budget %d < 0", o.epochs)
+		return configErr("WithEpochs", fmt.Sprintf("epoch budget %d < 0", o.epochs))
 	}
 	if o.gpus < 0 {
-		return fmt.Errorf("minato: GPU count %d < 0", o.gpus)
+		return configErr("WithGPUs", fmt.Sprintf("GPU count %d < 0", o.gpus))
+	}
+	if o.prioritySet && o.weight <= 0 {
+		return configErr("WithPriority", fmt.Sprintf("weight %g must be positive", o.weight))
 	}
 	if o.hw != nil && o.env != nil {
-		return errors.New("minato: WithHardware and WithEnv are mutually exclusive")
+		return configErr("WithHardware/WithEnv", "mutually exclusive")
 	}
 	if o.factory != nil && o.loaderName != "" {
-		return errors.New("minato: WithLoader and WithLoaderFactory are mutually exclusive")
+		return configErr("WithLoader/WithLoaderFactory", "mutually exclusive")
 	}
 	if o.loaderCfg != nil && o.loaderName != "" && o.loaderName != "minato" {
-		return fmt.Errorf("minato: WithLoaderConfig configures the minato loader, but %q is selected", o.loaderName)
+		return configErr("WithLoaderConfig",
+			fmt.Sprintf("WithLoaderConfig configures the minato loader, but %q is selected", o.loaderName))
 	}
 	if o.loaderCfg != nil && o.factory != nil {
-		return errors.New("minato: WithLoaderConfig and WithLoaderFactory are mutually exclusive")
+		return configErr("WithLoaderConfig/WithLoaderFactory", "mutually exclusive")
+	}
+	return nil
+}
+
+// rejectClusterOwned refuses the hardware-shaping options on sessions of an
+// explicit cluster, where the substrate is cluster-owned.
+func (o *sessionOptions) rejectClusterOwned() error {
+	switch {
+	case o.hw != nil:
+		return configErr("WithHardware", "cluster-owned: size the testbed on NewCluster")
+	case o.env != nil:
+		return configErr("WithEnv", "cluster-owned: size the environment on NewCluster")
+	case o.rt != nil:
+		return configErr("WithRuntime", "cluster-owned: the runtime belongs to NewCluster")
 	}
 	return nil
 }
@@ -165,16 +260,14 @@ func (o *sessionOptions) resolveFactory() (Factory, error) {
 	}
 	f, ok := loaders.ByName(name)
 	if !ok {
-		return Factory{}, fmt.Errorf("minato: unknown loader %q (registered: %s)",
-			name, strings.Join(loaders.Names(), ", "))
+		return Factory{}, configErr("WithLoader", fmt.Sprintf("unknown loader %q (registered: %s)",
+			name, strings.Join(loaders.Names(), ", ")))
 	}
 	return f, nil
 }
 
-type sessionState int
-
 const (
-	sessionNew sessionState = iota
+	sessionNew int32 = iota
 	sessionConsumed
 	sessionClosed
 )
@@ -183,30 +276,51 @@ const (
 // preprocessing pipeline into batches, delivered by a pluggable loader
 // backend over a simulated (or real) runtime.
 //
-// Lifecycle: Open configures and wires the session, Batches streams the
-// configured batch budget exactly once, Close tears down and returns the
-// session's Report. Sessions are not safe for concurrent use.
+// Lifecycle: Open (or Cluster.Open) configures and wires the session,
+// Batches streams the configured batch budget exactly once, Close tears
+// down and returns the session's Report. The Batches iterator itself is
+// single-consumer, but sessions are safe to run concurrently with sibling
+// sessions of the same Cluster: cross-session state — the page cache, the
+// sample pool, the worker arbitration — lives behind the cluster. Stats may
+// be called from any goroutine while the session streams.
 type Session struct {
+	cl          *Cluster
+	ownsCluster bool
+	tenantID    int
+	cacheTenant int
+	share       *clusterShare
+	gpuIdxs     []int
+	weight      float64
+
 	rt     Runtime
-	ownsRT bool
 	env    *Env
 	ld     DataLoader
 	name   string
 	spec   Spec
-	disk   *storage.Disk
-	cache  *storage.PageCache
+	retain bool
 
-	state   sessionState
-	retain  bool
-	err     error
-	startAt time.Duration
-	endAt   time.Duration
-	batches int64
-	samples int64
-	bytes   int64
+	state    atomic.Int32
+	released atomic.Bool
+	err      error
+	startAt  atomic.Int64 // time.Duration
+	endAt    atomic.Int64 // time.Duration
+	batches  atomic.Int64
+	samples  atomic.Int64
+	bytes    atomic.Int64
+	// final snapshots the session's storage attribution at first Close,
+	// before its cache-tenant slot is released (and possibly reused by a
+	// later session) — Stats and repeat Closes read the snapshot instead
+	// of a slot that no longer belongs to this session.
+	final atomic.Pointer[sessionFinal]
 }
 
-// Open starts a data-loading session over dataset, configured by
+// sessionFinal is the storage attribution frozen at first Close.
+type sessionFinal struct {
+	cache CacheStats
+	disk  int64
+}
+
+// Open starts a standalone data-loading session over dataset, configured by
 // functional options:
 //
 //	sess, err := minato.Open(dataset,
@@ -220,92 +334,27 @@ type Session struct {
 // seed 1, an 8-core single-GPU environment (see EnvConfig), and a fresh
 // deterministic virtual runtime. The loader's background tasks launch on
 // the first Batches call, so an Open session costs nothing until consumed.
+//
+// Open is a thin wrapper over an implicit single-session Cluster: the
+// hardware-shaping options configure that cluster, and closing the session
+// closes it. To run many concurrent sessions against one machine, build
+// the Cluster explicitly with NewCluster and use Cluster.Open.
 func Open(dataset Dataset, opts ...Option) (*Session, error) {
-	if dataset == nil {
-		return nil, errors.New("minato: Open requires a dataset")
-	}
 	o := buildOptions(opts)
 	if err := o.validate(); err != nil {
 		return nil, err
 	}
-	f, err := o.resolveFactory()
+	cl, err := newCluster(&clusterOptions{hw: o.hw, env: o.env, gpus: o.gpus, rt: o.rt})
 	if err != nil {
 		return nil, err
 	}
-
-	rt := o.rt
-	if rt == nil {
-		rt = simtime.NewVirtual()
+	o.hw, o.env, o.rt, o.gpus = nil, nil, nil, 0
+	sess, err := cl.open(dataset, o, true)
+	if err != nil {
+		_ = cl.Close()
+		return nil, err
 	}
-
-	var (
-		env   *Env
-		disk  *storage.Disk
-		cache *storage.PageCache
-	)
-	if o.hw != nil {
-		cfg := *o.hw
-		if o.gpus > 0 {
-			cfg = cfg.WithGPUs(o.gpus)
-		}
-		tb := hardware.NewTestbed(rt, cfg)
-		env = &Env{RT: rt, CPU: tb.CPU, GPUs: tb.GPUs, Store: tb.Store, WG: simtime.NewWaitGroup(rt)}
-		disk, cache = tb.Disk, tb.Cache
-	} else {
-		ec := EnvConfig{}
-		if o.env != nil {
-			ec = *o.env
-		}
-		if o.gpus > 0 {
-			ec.GPUs = o.gpus
-		}
-		env, disk, cache = buildEnv(rt, ec)
-	}
-	if env.Pool == nil {
-		env.Pool = data.NewPool()
-	}
-
-	pipeline := o.pipeline
-	if pipeline == nil {
-		pipeline = NewPipeline("identity")
-	}
-	batchSize := o.batchSize
-	if batchSize == 0 {
-		batchSize = 32
-	}
-	epochs := o.epochs
-	if o.iterations == 0 && epochs == 0 {
-		epochs = 1
-	}
-	spec := Spec{
-		Dataset:    dataset,
-		Pipeline:   pipeline,
-		BatchSize:  batchSize,
-		Epochs:     epochs,
-		Iterations: o.iterations,
-		Seed:       o.seed,
-	}
-	if spec.BatchesPerEpoch() == 0 {
-		return nil, fmt.Errorf("minato: batch size %d exceeds dataset %q size %d",
-			batchSize, dataset.Name(), dataset.Len())
-	}
-
-	ld := f.New(env, spec)
-	name := f.Name
-	if name == "" {
-		name = ld.Name()
-	}
-	return &Session{
-		rt:     rt,
-		ownsRT: o.rt == nil,
-		env:    env,
-		ld:     ld,
-		name:   name,
-		spec:   spec,
-		disk:   disk,
-		cache:  cache,
-		retain: o.retain,
-	}, nil
+	return sess, nil
 }
 
 // Batches returns a single-use iterator over the session's batches:
@@ -331,23 +380,26 @@ func Open(dataset Dataset, opts ...Option) (*Session, error) {
 // batch the loop breaks on) is never recycled.
 func (s *Session) Batches(ctx context.Context) iter.Seq2[*Batch, error] {
 	return func(yield func(*Batch, error) bool) {
-		switch s.state {
-		case sessionClosed:
+		switch {
+		case s.state.Load() == sessionClosed:
 			yield(nil, ErrSessionClosed)
 			return
-		case sessionConsumed:
+		case s.cl.isClosed():
+			yield(nil, ErrClusterClosed)
+			return
+		case !s.state.CompareAndSwap(sessionNew, sessionConsumed):
 			yield(nil, ErrSessionConsumed)
 			return
 		}
-		s.state = sessionConsumed
 		s.runOnKernel(func() {
 			if err := ctx.Err(); err != nil {
 				s.err = err
 				yield(nil, err)
 				return
 			}
-			s.startAt = s.rt.Now()
-			s.endAt = s.startAt
+			now := int64(s.rt.Now())
+			s.startAt.Store(now)
+			s.endAt.Store(now)
 			if err := s.ld.Start(ctx); err != nil {
 				s.err = err
 				yield(nil, err)
@@ -377,10 +429,10 @@ func (s *Session) Batches(ctx context.Context) iter.Seq2[*Batch, error] {
 					yield(nil, err)
 					return
 				}
-				s.batches++
-				s.samples += int64(b.Size())
-				s.bytes += b.Bytes()
-				s.endAt = s.rt.Now()
+				s.batches.Add(1)
+				s.samples.Add(int64(b.Size()))
+				s.bytes.Add(b.Bytes())
+				s.endAt.Store(int64(s.rt.Now()))
 				// The previously yielded batch is out of its validity window
 				// once the loop asks for the next one: recycle it — unless
 				// the loop body already released it itself (the generation
@@ -422,35 +474,87 @@ func (s *Session) Loader() DataLoader { return s.ld }
 // Runtime returns the runtime the session runs on.
 func (s *Session) Runtime() Runtime { return s.rt }
 
-// Close finalizes the session and returns its Report: batches, samples,
-// and bytes delivered, delivery time (TrainTime), and storage statistics.
-// The returned error is the first error the batch stream hit, if any.
-// Close is idempotent; loader teardown already happened when the Batches
-// loop ended, so Close only waits (briefly) for a session-owned virtual
-// kernel to confirm every task has fully exited.
-func (s *Session) Close() (*Report, error) {
-	first := s.state != sessionClosed
-	s.state = sessionClosed
-	if v, ok := s.rt.(*simtime.Virtual); ok && s.ownsRT {
-		v.Drain()
+// Cluster returns the cluster hosting the session (the implicit one for
+// standalone Open).
+func (s *Session) Cluster() *Cluster { return s.cl }
+
+// Stats returns a live snapshot of the session: delivered batches, samples
+// and bytes so far, its tenancy (priority weight, current worker quota),
+// and its attributable slice of the shared page cache. Safe to call from
+// any goroutine while the session streams.
+func (s *Session) Stats() SessionStats {
+	st := SessionStats{
+		Tenant:   s.tenantID,
+		Dataset:  s.spec.Dataset.Name(),
+		Loader:   s.name,
+		Priority: s.weight,
+		State:    sessionStateString(s.state.Load()),
+		Batches:  s.batches.Load(),
+		Samples:  s.samples.Load(),
+		Bytes:    s.bytes.Load(),
 	}
+	if s.share != nil {
+		st.WorkerQuota = s.share.WorkerQuota()
+	}
+	if fin := s.final.Load(); fin != nil {
+		st.Cache = fin.cache
+	} else if s.cl.cache != nil {
+		st.Cache = s.cl.cache.TenantStats(s.cacheTenant)
+	}
+	return st
+}
+
+func sessionStateString(st int32) string {
+	switch st {
+	case sessionNew:
+		return "open"
+	case sessionConsumed:
+		return "streaming"
+	default:
+		return "closed"
+	}
+}
+
+// Close finalizes the session and returns its Report: batches, samples,
+// and bytes delivered, delivery time (TrainTime), and storage statistics —
+// cache hits and disk bytes attributed to this session's own traffic when
+// the substrate is shared, not the cluster-wide totals. The
+// returned error is the first error the batch stream hit, if any. Close is
+// idempotent; loader teardown already happened when the Batches loop
+// ended. Closing releases the session's slot (admitting a queued sibling,
+// rebalancing worker quotas); cache reclamation is cluster-owned and
+// happens when the cluster itself closes, never here, so sibling sessions
+// sharing the cache are undisturbed.
+func (s *Session) Close() (*Report, error) {
+	s.state.Store(sessionClosed)
 	rep := &Report{
 		Workload:     s.spec.Dataset.Name(),
 		Loader:       s.name,
 		GPUs:         len(s.env.GPUs),
-		TrainTime:    s.endAt - s.startAt,
-		Batches:      s.batches,
-		Samples:      s.samples,
-		TrainedBytes: s.bytes,
+		TrainTime:    time.Duration(s.endAt.Load() - s.startAt.Load()),
+		Batches:      s.batches.Load(),
+		Samples:      s.samples.Load(),
+		TrainedBytes: s.bytes.Load(),
 	}
-	if s.disk != nil {
-		rep.DiskBytes = s.disk.BytesRead()
-	}
-	if s.cache != nil {
-		rep.CacheStats = s.cache.Stats()
-		if first {
-			s.cache.Recycle()
+	if s.released.CompareAndSwap(false, true) {
+		// Freeze storage attribution before releasing the tenancy: the
+		// cache-tenant slot may be reused by a later session.
+		fin := &sessionFinal{}
+		if s.cl.cache != nil {
+			fin.cache = s.cl.cache.TenantStats(s.cacheTenant)
+			fin.disk = s.cl.cache.TenantDiskBytes(s.cacheTenant)
+		} else if s.cl.disk != nil {
+			fin.disk = s.cl.disk.BytesRead()
 		}
+		s.final.Store(fin)
+		s.cl.releaseSession(s)
+	}
+	if fin := s.final.Load(); fin != nil {
+		rep.CacheStats = fin.cache
+		rep.DiskBytes = fin.disk
+	}
+	if s.ownsCluster {
+		_ = s.cl.Close()
 	}
 	return rep, s.err
 }
@@ -466,13 +570,15 @@ func (s *Session) Close() (*Report, error) {
 //	)
 //
 // Defaults: the MinatoLoader backend, the ConfigA testbed, the workload's
-// Table 3 budgets, and seed 1.
+// Table 3 budgets, and seed 1. Like Open, Train is a thin wrapper over an
+// implicit single-session cluster; co-running training jobs share one
+// machine through NewCluster and Cluster.Train.
 func Train(workloadName string, opts ...Option) (*Report, error) {
 	o := buildOptions(opts)
 	w, ok := workload.ByName(workloadName, o.seed)
 	if !ok {
-		return nil, fmt.Errorf("minato: unknown workload %q (registered: %s)",
-			workloadName, strings.Join(workload.Names(), ", "))
+		return nil, configErr("Train", fmt.Sprintf("unknown workload %q (registered: %s)",
+			workloadName, strings.Join(workload.Names(), ", ")))
 	}
 	return trainOpts(w, o)
 }
@@ -488,43 +594,20 @@ func trainOpts(w Workload, o *sessionOptions) (*Report, error) {
 		return nil, err
 	}
 	if o.env != nil {
-		return nil, errors.New("minato: WithEnv applies to Open; training sessions use WithHardware")
+		return nil, configErr("WithEnv", "applies to Open; training sessions use WithHardware")
 	}
 	if o.rt != nil {
-		return nil, errors.New("minato: training sessions own their runtime; WithRuntime applies to Open")
+		return nil, configErr("WithRuntime", "training sessions own their runtime; WithRuntime applies to Open")
 	}
-	if o.pipeline != nil {
-		return nil, errors.New("minato: workloads carry their own pipeline; WithPipeline applies to Open")
-	}
-	if o.retain {
-		return nil, errors.New("minato: training consumers own and recycle their batches; WithRetainBatches applies to Open")
-	}
-	f, err := o.resolveFactory()
-	if err != nil {
-		return nil, err
-	}
-	if o.batchSize > 0 {
-		w.BatchSize = o.batchSize
-	}
-	if o.epochs > 0 {
-		w = w.WithEpochs(o.epochs)
-	}
-	if o.iterations > 0 {
-		w = w.WithIterations(o.iterations)
-	}
-	// Same guard as Open: with drop-last semantics a batch larger than the
-	// dataset yields zero batches per epoch, which would spin the index
-	// source forever instead of terminating.
-	if w.Spec().BatchesPerEpoch() == 0 {
-		return nil, fmt.Errorf("minato: batch size %d exceeds dataset %q size %d",
-			w.BatchSize, w.Dataset.Name(), w.Dataset.Len())
-	}
-	hw := hardware.ConfigA()
+	hw := ConfigA()
 	if o.hw != nil {
 		hw = *o.hw
 	}
-	if o.gpus > 0 {
-		hw = hw.WithGPUs(o.gpus)
+	cl, err := newCluster(&clusterOptions{hw: &hw, gpus: o.gpus})
+	if err != nil {
+		return nil, err
 	}
-	return trainer.Simulate(hw, w, f, o.params)
+	defer cl.Close()
+	o.hw, o.gpus = nil, 0
+	return cl.train(w, o)
 }
