@@ -56,6 +56,41 @@ func BenchmarkArtifactE1(b *testing.B) { benchExperiment(b, "e1") }
 
 func BenchmarkDistributed(b *testing.B) { benchExperiment(b, "dist") }
 
+func BenchmarkMultiNodeScenarios(b *testing.B) { benchExperiment(b, "multinode") }
+
+// BenchmarkMultiNode is the multi-node tier: 2- and 8-node data-parallel
+// clusters over the simulated interconnect, each rank consuming a fixed
+// batch budget through its own loader while gradient ring-reduce flows and
+// remote dataset fetches contend on the netsim fabric. Reported metrics:
+// simulator wall throughput (samples/sec_wall), whole-cluster step time in
+// simulated milliseconds (step_ms — must stay bit-stable), and the
+// network-stall share of cluster consumer time (net_stall_pct).
+func BenchmarkMultiNode(b *testing.B) {
+	// The iteration budget is per-node (each node runs its own loader over
+	// its shard), so the per-rank work is constant across tiers and total
+	// simulated work scales linearly with the node count.
+	const batchesPerNode = 15
+	for _, nodes := range []int{2, 8} {
+		b.Run(fmt.Sprintf("nodes=%d", nodes), func(b *testing.B) {
+			w := workload.Speech(1, 3*time.Second).WithIterations(batchesPerNode)
+			var samples int64
+			var rep *MultiNodeReport
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var err error
+				rep, err = TrainMultiNodeWorkload(w, WithNodes(nodes), WithGPUs(1))
+				if err != nil {
+					b.Fatal(err)
+				}
+				samples += rep.Samples
+			}
+			b.ReportMetric(float64(samples)/b.Elapsed().Seconds(), "samples/sec_wall")
+			b.ReportMetric(rep.StepTime().Seconds()*1000, "step_ms")
+			b.ReportMetric(100*rep.NetworkStallShare(), "net_stall_pct")
+		})
+	}
+}
+
 func BenchmarkAblationTimeout(b *testing.B) { benchExperiment(b, "abl-timeout") }
 func BenchmarkAblationWorkers(b *testing.B) { benchExperiment(b, "abl-workers") }
 func BenchmarkAblationResume(b *testing.B)  { benchExperiment(b, "abl-resume") }

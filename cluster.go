@@ -80,6 +80,10 @@ func WithAdmission(p AdmissionPolicy) ClusterOption {
 // the cluster closed (new opens fail, queued opens release with
 // ErrClusterClosed) and reclaims the shared substrate once the last
 // session has closed.
+//
+// A Cluster multiplexes many tenants over ONE machine. For the opposite
+// shape — one training job spread data-parallel across MANY machines
+// connected by a simulated interconnect — see TrainMultiNode and Topology.
 type Cluster struct {
 	rt     Runtime
 	ownsRT bool

@@ -12,6 +12,7 @@
 //	minato-bench -loader pytorch -workload img-seg -quick  # shortened
 //	minato-bench -fleet                 # scale-out tier: 8/32/64 GPUs
 //	minato-bench -tenants               # multi-tenant tier: 1/4/16 sessions
+//	minato-bench -nodes                 # multi-node tier: 2/8-node clusters
 //
 // Experiment IDs follow the paper: table1..table3, fig1b..fig12, e1 (the
 // artifact appendix run), and abl-* design ablations. Loader and workload
@@ -43,6 +44,7 @@ func main() {
 		quick    = flag.Bool("quick", false, "shrink run lengths (CI mode)")
 		fleet    = flag.Bool("fleet", false, "run the multi-GPU scale-out tier (8/32/64 simulated GPUs)")
 		tenants  = flag.Bool("tenants", false, "run the multi-tenant cluster tier (1/4/16 concurrent sessions)")
+		nodes    = flag.Bool("nodes", false, "run the multi-node tier (2/8-node clusters over the netsim fabric)")
 		list     = flag.Bool("list", false, "list experiment IDs and registered names, then exit")
 	)
 	flag.Parse()
@@ -52,6 +54,9 @@ func main() {
 	}
 	if *tenants {
 		os.Exit(runTenants(*workload, *seed, *quick))
+	}
+	if *nodes {
+		os.Exit(runNodes(*workload, *seed, *quick))
 	}
 
 	if (*loader != "" || *workload != "") && !*list {
@@ -195,6 +200,44 @@ func runTenants(workload string, seed uint64, quick bool) int {
 		if err := cl.Close(); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
+		}
+	}
+	return 0
+}
+
+// runNodes benchmarks the multi-node tier: 2- and 8-node data-parallel
+// clusters over the simulated interconnect, comparing the PyTorch-model
+// loader against MinatoLoader on whole-cluster step time and network-stall
+// share — the BenchmarkMultiNode view, interactive.
+func runNodes(workload string, seed uint64, quick bool) int {
+	if workload == "" {
+		workload = "speech-3s"
+	}
+	// Per-node budget: every node runs its own loader over its shard, so
+	// the per-rank work is constant across tiers.
+	itersPerNode := 15
+	if quick {
+		itersPerNode = 5
+	}
+	for _, n := range []int{2, 8} {
+		for _, loader := range []string{"pytorch", "minato"} {
+			start := time.Now()
+			rep, err := minato.TrainMultiNode(workload,
+				minato.WithNodes(n),
+				minato.WithLoader(loader),
+				minato.WithSeed(seed),
+				minato.WithGPUs(1),
+				minato.WithIterations(itersPerNode),
+			)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+			wall := time.Since(start)
+			fmt.Printf("nodes %d × %-7s: %d steps, %.0f ms/step cluster, GPU %.1f%%, stalls data %.1f%% / barrier %.1f%% / net %.1f%% (%s wall)\n",
+				n, rep.Loader, rep.Steps, rep.StepTime().Seconds()*1000, rep.AvgGPUUtil,
+				100*rep.DataStallShare(), 100*rep.BarrierStallShare(), 100*rep.NetworkStallShare(),
+				wall.Round(time.Millisecond))
 		}
 	}
 	return 0

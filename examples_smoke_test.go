@@ -37,3 +37,22 @@ func TestMultitenantRunsEndToEnd(t *testing.T) {
 		t.Fatalf("multitenant determinism check failed:\n%s", out)
 	}
 }
+
+// TestMultinodeRunsEndToEnd asserts the multinode example — a 4-node
+// straggler cluster over the netsim fabric — runs to completion and
+// verifies its own determinism check (two runs, bit-identical reports).
+func TestMultinodeRunsEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping go-run smoke test in -short mode")
+	}
+	out, err := exec.Command("go", "run", "./examples/multinode").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run ./examples/multinode: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "bit-identical (deterministic)") {
+		t.Fatalf("multinode determinism check failed:\n%s", out)
+	}
+	if !strings.Contains(string(out), "speedup under a straggler") {
+		t.Fatalf("multinode speedup line missing:\n%s", out)
+	}
+}

@@ -1,14 +1,21 @@
 // Package distributed extends the single-server evaluation to the
 // multi-node data-parallel setting the paper discusses in §6: each node is
-// a full testbed (CPU pool, GPUs, storage) running its own loader instance
-// over a dataset shard, and every training step ends with a gradient
-// all-reduce across nodes over the cluster interconnect.
+// a full testbed (CPU pool, GPUs, page cache) running its own loader
+// instance over a dataset shard, and every training step ends with a
+// gradient all-reduce across nodes over a simulated cluster interconnect
+// (internal/netsim).
 //
-// The paper's claim is qualitative — "MinatoLoader retains its
-// preprocessing and batch construction benefits" per node — and this
-// package makes it measurable: the per-step barrier means a single
-// input-stalled node stalls the whole cluster, so loader quality compounds
-// with scale.
+// The interconnect is real, not analytic: gradient exchange runs as
+// ring-reduce flows on the fabric, and — on a remote-store cluster — cold
+// shard reads are fetched from a shared storage server over the same NICs,
+// so data traffic and gradient traffic contend exactly where they do on a
+// Lustre-over-interconnect testbed (§3's Config A). The paper's claim is
+// qualitative — "MinatoLoader retains its preprocessing and batch
+// construction benefits" per node — and this package makes it measurable:
+// the per-step barrier means a single input-stalled node stalls the whole
+// cluster, so loader quality compounds with scale, and the Report
+// attributes each node's stall time to its cause (own input, the barrier,
+// or the network).
 package distributed
 
 import (
@@ -21,46 +28,131 @@ import (
 
 	"github.com/minatoloader/minato/internal/data"
 	"github.com/minatoloader/minato/internal/dataset"
+	"github.com/minatoloader/minato/internal/dist"
 	"github.com/minatoloader/minato/internal/hardware"
 	"github.com/minatoloader/minato/internal/loader"
+	"github.com/minatoloader/minato/internal/netsim"
 	"github.com/minatoloader/minato/internal/simtime"
+	"github.com/minatoloader/minato/internal/storage"
 	"github.com/minatoloader/minato/internal/trainer"
 	"github.com/minatoloader/minato/internal/workload"
 )
 
+// shardStream keys the deterministic shard-to-node assignment drawn from
+// internal/dist: node i trains shard perm[i] of the epoch-invariant
+// n-way split. The constant must stay unique among the repository's
+// (seed, stream) draws — 77 is the workload accuracy-noise stream, and
+// epoch shuffles live at epoch+1000.
+const shardStream = 4200
+
 // Config describes the cluster.
 type Config struct {
-	// Nodes is the number of servers.
+	// Nodes is the number of servers; ignored when Mix is set.
 	Nodes int
 	// Node is the per-node hardware (§3's Config A or B).
 	Node hardware.Config
-	// GradientBytes is the model gradient size exchanged per step.
+	// Mix, when non-empty, gives each node its own hardware — the
+	// heterogeneous-cluster scenario. len(Mix) overrides Nodes.
+	Mix []hardware.Config
+
+	// GradientBytes is the model gradient each node exchanges per step.
 	GradientBytes int64
-	// InterconnectBW is the per-node network bandwidth (bytes/s).
-	InterconnectBW float64
-	// AllReduceLatency is the fixed per-step synchronization latency.
-	AllReduceLatency time.Duration
+	// LinkBandwidth is each node's NIC bandwidth in bytes/s per direction.
+	LinkBandwidth float64
+	// LinkLatency is the per-transfer propagation delay on the fabric.
+	LinkLatency time.Duration
+
+	// RemoteStore places the dataset on a shared storage server reached
+	// over the fabric (the Lustre configuration): cold reads occupy the
+	// server disk and then a network transfer into the reading node's NIC,
+	// contending with gradient traffic. When false every node has local
+	// storage.
+	RemoteStore bool
+
+	// StragglerFactor > 1 divides StragglerNode's CPU core count — the
+	// input-stalled-node scenario, where one underprovisioned node's
+	// preprocessing drags the whole synchronous cluster.
+	StragglerNode   int
+	StragglerFactor float64
+
+	// DegradedFactor > 1 divides DegradedNode's NIC bandwidth in both
+	// directions — a flaky cable or oversubscribed leaf switch.
+	DegradedNode   int
+	DegradedFactor float64
 }
 
-// DefaultConfig returns a 200 Gb/s-interconnect cluster of Config A nodes.
+// DefaultConfig returns a 200 Gb/s-interconnect cluster of Config A nodes
+// sharing a remote store, the paper's cluster testbed.
 func DefaultConfig(nodes int) Config {
 	return Config{
-		Nodes:            nodes,
-		Node:             hardware.ConfigA(),
-		GradientBytes:    350 << 20, // ResNet50-scale gradients
-		InterconnectBW:   25e9,
-		AllReduceLatency: 2 * time.Millisecond,
+		Nodes:         nodes,
+		Node:          hardware.ConfigA(),
+		GradientBytes: 350 << 20, // ResNet50-scale gradients
+		LinkBandwidth: 25e9,      // 200 Gb/s
+		LinkLatency:   200 * time.Microsecond,
+		RemoteStore:   true,
 	}
 }
 
-// allReduceTime models a ring all-reduce: each node sends and receives
-// 2·(n−1)/n of the gradient at the interconnect bandwidth.
-func (c Config) allReduceTime() time.Duration {
-	if c.Nodes <= 1 {
-		return 0
+// WithStraggler returns a copy of c with node's cores divided by factor.
+func (c Config) WithStraggler(node int, factor float64) Config {
+	c.StragglerNode, c.StragglerFactor = node, factor
+	return c
+}
+
+// WithDegradedLink returns a copy of c with node's NIC bandwidth divided
+// by factor.
+func (c Config) WithDegradedLink(node int, factor float64) Config {
+	c.DegradedNode, c.DegradedFactor = node, factor
+	return c
+}
+
+// WithMix returns a copy of c running the given heterogeneous node set.
+func (c Config) WithMix(nodes ...hardware.Config) Config {
+	c.Mix = nodes
+	c.Nodes = len(nodes)
+	return c
+}
+
+// nodeConfigs resolves the per-node hardware, applying the straggler
+// scenario.
+func (c Config) nodeConfigs() []hardware.Config {
+	var cfgs []hardware.Config
+	if len(c.Mix) > 0 {
+		cfgs = append(cfgs, c.Mix...)
+	} else {
+		for i := 0; i < c.Nodes; i++ {
+			cfgs = append(cfgs, c.Node)
+		}
 	}
-	vol := 2 * float64(c.GradientBytes) * float64(c.Nodes-1) / float64(c.Nodes)
-	return c.AllReduceLatency + time.Duration(vol/c.InterconnectBW*float64(time.Second))
+	if c.StragglerFactor > 1 && c.StragglerNode >= 0 && c.StragglerNode < len(cfgs) {
+		s := &cfgs[c.StragglerNode]
+		s.Cores = int(float64(s.Cores) / c.StragglerFactor)
+		if s.Cores < 1 {
+			s.Cores = 1
+		}
+	}
+	return cfgs
+}
+
+// NodeStats attributes one node's time: where its consumers stalled, what
+// it trained, how busy its GPUs were. Stall durations are summed across
+// the node's GPU consumers.
+type NodeStats struct {
+	Node     int
+	Hardware string // config name + core count, e.g. "ConfigA/128c"
+	GPUs     int
+	Samples  int64
+	// DataStall is time blocked on the node's own loader — input starvation.
+	DataStall time.Duration
+	// BarrierStall is time parked at the step barrier waiting for slower
+	// ranks: the compounding cost of someone else's input stall.
+	BarrierStall time.Duration
+	// NetworkStall is time in the gradient all-reduce (flows + phase
+	// barriers) — the interconnect's share of the step.
+	NetworkStall time.Duration
+	// GPUUtil is the node's average GPU utilization in percent.
+	GPUUtil float64
 }
 
 // Report is the outcome of a distributed run.
@@ -70,32 +162,106 @@ type Report struct {
 	Nodes    int
 	// TrainTime is the cluster wall time (all nodes synchronized).
 	TrainTime time.Duration
-	// Steps is the number of synchronized steps completed.
+	// Steps is the number of whole-cluster synchronized steps completed.
 	Steps int64
 	// Samples aggregates all nodes.
 	Samples int64
 	// AvgGPUUtil averages across every GPU in the cluster.
 	AvgGPUUtil float64
-	// AllReduceTime is the per-step synchronization cost applied.
-	AllReduceTime time.Duration
+	// NetworkBytes is the total traffic the fabric carried: gradient
+	// flows plus (on a remote-store cluster) dataset fetches.
+	NetworkBytes int64
+	// PerNode attributes each node's stalls, in node order.
+	PerNode []NodeStats
+}
+
+// StepTime is the whole-cluster synchronized step time — the number the
+// per-step barrier makes everyone pay together.
+func (r *Report) StepTime() time.Duration {
+	if r.Steps == 0 {
+		return 0
+	}
+	return r.TrainTime / time.Duration(r.Steps)
+}
+
+// consumerSeconds is the total consumer wall time the stall shares are
+// normalized by.
+func (r *Report) consumerSeconds() float64 {
+	total := 0.0
+	for _, n := range r.PerNode {
+		total += float64(n.GPUs) * r.TrainTime.Seconds()
+	}
+	return total
+}
+
+func (r *Report) share(sum time.Duration) float64 {
+	den := r.consumerSeconds()
+	if den <= 0 {
+		return 0
+	}
+	s := sum.Seconds() / den
+	if s > 1 {
+		s = 1
+	}
+	return s
+}
+
+// NetworkStallShare is the fraction of cluster consumer time spent in
+// gradient synchronization over the fabric.
+func (r *Report) NetworkStallShare() float64 {
+	var sum time.Duration
+	for _, n := range r.PerNode {
+		sum += n.NetworkStall
+	}
+	return r.share(sum)
+}
+
+// DataStallShare is the fraction of cluster consumer time spent waiting on
+// the nodes' own loaders.
+func (r *Report) DataStallShare() float64 {
+	var sum time.Duration
+	for _, n := range r.PerNode {
+		sum += n.DataStall
+	}
+	return r.share(sum)
+}
+
+// BarrierStallShare is the fraction of cluster consumer time spent waiting
+// at the step barrier for slower ranks.
+func (r *Report) BarrierStallShare() float64 {
+	var sum time.Duration
+	for _, n := range r.PerNode {
+		sum += n.BarrierStall
+	}
+	return r.share(sum)
+}
+
+// remoteFetch adapts a fabric path (storage server → node) to the
+// storage.RemoteFetcher hook.
+type remoteFetch struct {
+	fab       *netsim.Fabric
+	src, node int
+}
+
+func (rf remoteFetch) Fetch(ctx context.Context, n int64) error {
+	return rf.fab.Transfer(ctx, rf.src, rf.node, n)
 }
 
 // Run executes a distributed data-parallel session on a fresh virtual
-// kernel. Every node consumes per-GPU batches from its own loader; after
-// each per-GPU step, nodes synchronize on a global barrier and pay the
-// all-reduce cost — the bulk-synchronous-parallel structure of DDP.
+// kernel. Every node consumes per-GPU batches from its own loader over its
+// shard; after each per-GPU step, nodes synchronize on a global barrier,
+// node leaders run the ring all-reduce over the fabric, and everyone
+// resumes together — the bulk-synchronous-parallel structure of DDP.
 func Run(cfg Config, w workload.Workload, f trainer.Factory) (*Report, error) {
-	if cfg.Nodes <= 0 {
+	nodeCfgs := cfg.nodeConfigs()
+	if len(nodeCfgs) == 0 {
 		return nil, errors.New("distributed: need at least one node")
 	}
 	k := simtime.NewVirtual()
-	rep := &Report{
-		Workload: w.Name, Loader: f.Name, Nodes: cfg.Nodes,
-		AllReduceTime: cfg.allReduceTime(),
-	}
+	rep := &Report{Workload: w.Name, Loader: f.Name, Nodes: len(nodeCfgs)}
 	var runErr error
 	k.Run(func() {
-		runErr = run(k, cfg, w, f, rep)
+		runErr = run(k, cfg, nodeCfgs, w, f, rep)
 	})
 	k.Drain()
 	if runErr != nil {
@@ -104,81 +270,151 @@ func Run(cfg Config, w workload.Workload, f trainer.Factory) (*Report, error) {
 	return rep, nil
 }
 
-func run(k *simtime.Virtual, cfg Config, w workload.Workload, f trainer.Factory, rep *Report) error {
+// nodeState is one node's runtime wiring plus its stall accounting
+// (consumers of the node add concurrently).
+type nodeState struct {
+	tb           *hardware.Testbed
+	ld           loader.Loader
+	samples      atomic.Int64
+	dataStall    atomic.Int64
+	barrierStall atomic.Int64
+	networkStall atomic.Int64
+}
+
+func run(k *simtime.Virtual, cfg Config, nodeCfgs []hardware.Config, w workload.Workload, f trainer.Factory, rep *Report) error {
 	ctx := context.Background()
 	wg := simtime.NewWaitGroup(k)
+	n := len(nodeCfgs)
 
-	type node struct {
-		tb *hardware.Testbed
-		ld loader.Loader
+	// Fabric endpoints: one per node, plus the storage server when the
+	// dataset is remote.
+	endpoints := n
+	storeEP := -1
+	if cfg.RemoteStore {
+		storeEP = n
+		endpoints++
 	}
-	nodes := make([]*node, cfg.Nodes)
+	fab := netsim.New(k, netsim.Config{
+		Endpoints: endpoints,
+		Bandwidth: cfg.LinkBandwidth,
+		Latency:   cfg.LinkLatency,
+	})
+	if cfg.DegradedFactor > 1 && cfg.DegradedNode >= 0 && cfg.DegradedNode < n {
+		fab.SetBandwidth(cfg.DegradedNode, cfg.LinkBandwidth/cfg.DegradedFactor)
+	}
+
+	// On a remote-store cluster every node's cold reads share one server
+	// disk (the Lustre array) and pay a fabric transfer into their NIC;
+	// node-local page caches absorb warm reads before any of that.
+	var serverDisk *storage.Disk
+	if cfg.RemoteStore {
+		serverCfg := cfg.Node
+		if serverCfg.StorageBandwidth <= 0 {
+			serverCfg = nodeCfgs[0] // Mix-only config: size the server like node 0
+		}
+		serverDisk = storage.NewDisk(k, serverCfg.StorageName+"-server",
+			serverCfg.StorageBandwidth, serverCfg.StorageParallelism)
+	}
+
+	// Shard assignment through the deterministic draw family: node i
+	// trains shard perm[i], so which node holds which slice is a pure
+	// function of the seed.
+	spec := w.Spec()
+	perm := dist.Permutation(spec.Seed, shardStream, n)
+
+	nodes := make([]*nodeState, n)
+	nodeEPs := make([]int, n)
 	totalConsumers := 0
 	for i := range nodes {
-		tb := hardware.NewTestbed(k, cfg.Node)
-		shardW := w.WithDataset(dataset.Shard(w.Dataset, i, cfg.Nodes))
-		spec := shardW.Spec()
-		env := &loader.Env{RT: k, CPU: tb.CPU, GPUs: tb.GPUs, Store: tb.Store, WG: wg,
+		tb := hardware.NewTestbed(k, nodeCfgs[i])
+		store := tb.Store
+		if cfg.RemoteStore {
+			store = &storage.Store{Disk: serverDisk, Cache: tb.Cache,
+				Remote: remoteFetch{fab: fab, src: storeEP, node: i}}
+		}
+		shardW := w.WithDataset(dataset.Shard(w.Dataset, perm[i], n))
+		env := &loader.Env{RT: k, CPU: tb.CPU, GPUs: tb.GPUs, Store: store, WG: wg,
 			Pool: data.NewPool()}
-		nodes[i] = &node{tb: tb, ld: f.New(env, spec)}
+		nodes[i] = &nodeState{tb: tb, ld: f.New(env, shardW.Spec())}
+		nodeEPs[i] = i
 		totalConsumers += len(tb.GPUs)
 	}
 
-	barrier := simtime.NewBarrier(k, totalConsumers)
-	syncCost := cfg.allReduceTime()
+	// Two cyclic barriers frame the synchronized region of each step: all
+	// consumers arrive at `arrive`, node leaders run the collective, and
+	// everyone leaves through `resume`. A rank exiting early (EOF, error)
+	// breaks all of it so the cluster unwinds deterministically.
+	arrive := simtime.NewBarrier(k, totalConsumers)
+	resume := simtime.NewBarrier(k, totalConsumers)
+	ring := netsim.NewRing(k, fab, nodeEPs)
+	breakAll := func() {
+		arrive.Break()
+		resume.Break()
+		ring.Break()
+	}
 
-	for _, n := range nodes {
-		if err := n.ld.Start(ctx); err != nil {
+	for _, nd := range nodes {
+		if err := nd.ld.Start(ctx); err != nil {
 			return err
 		}
 	}
 
 	start := k.Now()
-	var steps, samples atomic.Int64
+	var steps atomic.Int64
 	var lastEnd atomic.Int64
 	consumers := simtime.NewWaitGroup(k)
 	var consumeErr atomic.Value
-	for _, n := range nodes {
-		n := n
-		for g := range n.tb.GPUs {
+	for rank, nd := range nodes {
+		rank, nd := rank, nd
+		for g := range nd.tb.GPUs {
 			g := g
 			consumers.Go("dist-consumer", func() {
-				dev := n.tb.GPUs[g]
+				dev := nd.tb.GPUs[g]
 				for {
-					b, err := n.ld.Next(ctx, g)
+					t0 := k.Now()
+					b, err := nd.ld.Next(ctx, g)
 					if errors.Is(err, io.EOF) {
 						// This rank is out of data: release the others.
-						barrier.Break()
+						breakAll()
 						return
 					}
 					if err != nil {
 						consumeErr.Store(err)
-						barrier.Break()
+						breakAll()
 						return
 					}
+					nd.dataStall.Add(int64(k.Now() - t0))
 					if err := dev.Train(ctx, w.GPUStep); err != nil {
-						barrier.Break()
+						breakAll()
 						return
 					}
-					samples.Add(int64(len(b.Samples)))
+					nd.samples.Add(int64(len(b.Samples)))
 					b.Release()
-					// Gradient synchronization: bulk-synchronous step.
-					if _, err := barrier.Wait(ctx); err != nil {
-						return // barrier broken: another rank finished
+
+					// Synchronized region: barrier, collective, resume.
+					t1 := k.Now()
+					if _, err := arrive.Wait(ctx); err != nil {
+						return // broken: another rank finished
 					}
-					if syncCost > 0 {
-						if err := k.Sleep(ctx, syncCost); err != nil {
+					t2 := k.Now()
+					nd.barrierStall.Add(int64(t2 - t1))
+					if g == 0 {
+						if err := ring.AllReduce(ctx, rank, cfg.GradientBytes); err != nil {
+							if !errors.Is(err, simtime.ErrBarrierBroken) {
+								consumeErr.Store(err)
+							}
+							breakAll()
 							return
 						}
 					}
-					steps.Add(1)
-					now := int64(k.Now())
-					for {
-						cur := lastEnd.Load()
-						if now <= cur || lastEnd.CompareAndSwap(cur, now) {
-							break
-						}
+					if _, err := resume.Wait(ctx); err != nil {
+						return
 					}
+					nd.networkStall.Add(int64(k.Now() - t2))
+					if rank == 0 && g == 0 {
+						steps.Add(1)
+					}
+					storeMax(&lastEnd, int64(k.Now()))
 				}
 			})
 		}
@@ -186,8 +422,8 @@ func run(k *simtime.Virtual, cfg Config, w workload.Workload, f trainer.Factory,
 	if err := consumers.Wait(ctx); err != nil {
 		return err
 	}
-	for _, n := range nodes {
-		n.ld.Stop()
+	for _, nd := range nodes {
+		nd.ld.Stop()
 	}
 	if err := wg.Wait(ctx); err != nil {
 		return err
@@ -200,33 +436,54 @@ func run(k *simtime.Virtual, cfg Config, w workload.Workload, f trainer.Factory,
 	if end < start {
 		end = k.Now()
 	}
-	for _, n := range nodes {
-		n.tb.Cache.Recycle()
-	}
 	rep.TrainTime = end - start
 	rep.Steps = steps.Load()
-	rep.Samples = samples.Load()
+	rep.NetworkBytes = fab.BytesMoved()
 
 	dur := rep.TrainTime.Seconds()
-	if dur > 0 {
+	busyAll, gpuCount := 0.0, 0
+	for i, nd := range nodes {
 		busy := 0.0
-		count := 0
-		for _, n := range nodes {
-			for _, g := range n.tb.GPUs {
-				busy += g.BusySeconds()
-				count++
-			}
+		for _, g := range nd.tb.GPUs {
+			busy += g.BusySeconds()
 		}
-		rep.AvgGPUUtil = 100 * busy / (float64(count) * dur)
-		if rep.AvgGPUUtil > 100 {
-			rep.AvgGPUUtil = 100
+		busyAll += busy
+		gpuCount += len(nd.tb.GPUs)
+		util := 0.0
+		if dur > 0 {
+			util = min(100, 100*busy/(float64(len(nd.tb.GPUs))*dur))
 		}
+		rep.Samples += nd.samples.Load()
+		rep.PerNode = append(rep.PerNode, NodeStats{
+			Node:         i,
+			Hardware:     fmt.Sprintf("%s/%dc", nodeCfgs[i].Name, nodeCfgs[i].Cores),
+			GPUs:         len(nd.tb.GPUs),
+			Samples:      nd.samples.Load(),
+			DataStall:    time.Duration(nd.dataStall.Load()),
+			BarrierStall: time.Duration(nd.barrierStall.Load()),
+			NetworkStall: time.Duration(nd.networkStall.Load()),
+			GPUUtil:      util,
+		})
+		nd.tb.Cache.Recycle()
+	}
+	if dur > 0 {
+		rep.AvgGPUUtil = min(100, 100*busyAll/(float64(gpuCount)*dur))
 	}
 	return nil
 }
 
+func storeMax(dst *atomic.Int64, v int64) {
+	for {
+		cur := dst.Load()
+		if v <= cur || dst.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
 // String summarizes the report.
 func (r *Report) String() string {
-	return fmt.Sprintf("%s/%s on %d nodes: %.1fs, %d steps, GPU %.1f%%",
-		r.Workload, r.Loader, r.Nodes, r.TrainTime.Seconds(), r.Steps, r.AvgGPUUtil)
+	return fmt.Sprintf("%s/%s on %d nodes: %.1fs, %d steps (%.0f ms/step), GPU %.1f%%, net stall %.1f%%",
+		r.Workload, r.Loader, r.Nodes, r.TrainTime.Seconds(), r.Steps,
+		r.StepTime().Seconds()*1000, r.AvgGPUUtil, 100*r.NetworkStallShare())
 }

@@ -1,0 +1,335 @@
+// Package netsim models the cluster interconnect: NICs and links with
+// bandwidth fair-sharing and latency, on the same event-driven wait fabric
+// (simtime.Selector) that device occupancy uses. It is the substrate for
+// true multi-node runs, where gradient all-reduce traffic and remote
+// dataset fetches contend for the same NICs — the regime the single-server
+// evaluation cannot see.
+//
+// Topology: every endpoint (a training node, or the storage server) owns a
+// full-duplex NIC attached to a non-blocking switch, so the contention
+// points are the 2·E unidirectional NIC links (egress and ingress per
+// endpoint); the switch core is never the bottleneck, matching a
+// fat-tree-style cluster fabric. A Flow from src to dst occupies src's
+// egress and dst's ingress for its byte count, after a fixed propagation
+// latency.
+//
+// Sharing: concurrent flows receive max-min fair rates, computed by
+// water-filling over the links each flow crosses — the classic fluid
+// approximation of per-flow fair queueing (TCP-like long flows on a shared
+// fabric). Rates change only at flow entry/exit and explicit bandwidth
+// changes, all of which are kernel-visible events; each in-flight flow
+// parks on a pooled Selector with an exact completion deadline and is woken
+// to re-integrate when its rate changes. No polling, and under the virtual
+// runtime every transfer completes at a deterministic instant — identical
+// seeds reproduce multi-node runs bit-for-bit.
+package netsim
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"github.com/minatoloader/minato/internal/simtime"
+)
+
+// Config sizes a fabric.
+type Config struct {
+	// Endpoints is the number of NIC-owning endpoints (training nodes plus
+	// any storage servers).
+	Endpoints int
+	// Bandwidth is each NIC's full-duplex bandwidth in bytes/s per
+	// direction (200 Gb/s ≈ 25e9, the paper's cluster interconnect).
+	Bandwidth float64
+	// Latency is the fixed per-transfer propagation delay.
+	Latency time.Duration
+}
+
+// Fabric is the simulated interconnect. All methods are safe for
+// concurrent use by tracked tasks.
+type Fabric struct {
+	rt      simtime.Runtime
+	latency time.Duration
+
+	mu    sync.Mutex
+	links []link // 2 per endpoint: egress = 2e, ingress = 2e+1
+	flows []*flow
+	lastT time.Duration
+	// residuals is water-filling scratch (one slot per link), kept on the
+	// fabric so resharing allocates nothing.
+	residuals []residual
+
+	bytesMoved int64
+	flowsDone  int64
+
+	// pool recycles flow records (and their selectors) across Transfer
+	// calls: the steady-state transfer path allocates nothing.
+	pool sync.Pool
+}
+
+// link is one unidirectional NIC attachment.
+type link struct {
+	bw float64 // current bandwidth, bytes/s
+	n  int     // flows crossing this link
+	// busyIntegral accumulates ∫ (used-bandwidth / bw) dt in full-bandwidth
+	// seconds, converted at the bandwidth in force when the traffic moved —
+	// so a later SetBandwidth cannot retroactively rescale history.
+	// Utilization over a window is Δbusy/Δt.
+	busyIntegral float64
+}
+
+// flow is one in-flight transfer.
+type flow struct {
+	egress, ingress int     // link indices
+	remaining       float64 // bytes left
+	rate            float64 // current max-min fair rate, bytes/s
+	prevRate        float64 // rate before the current reshare pass
+	sel             *simtime.Selector
+	parked          bool // holds an armed deadline for the current rate
+}
+
+// residual is per-link water-filling state: capacity and flow count not
+// yet claimed by fixed flows.
+type residual struct {
+	cap float64
+	n   int
+}
+
+// unfixedRate marks a flow not yet assigned by the current water-filling
+// pass.
+const unfixedRate = -1
+
+// New returns a fabric with cfg.Endpoints NICs. Endpoints and Bandwidth
+// must be positive.
+func New(rt simtime.Runtime, cfg Config) *Fabric {
+	if cfg.Endpoints <= 0 {
+		panic("netsim: need at least one endpoint")
+	}
+	if cfg.Bandwidth <= 0 {
+		panic("netsim: bandwidth must be positive")
+	}
+	f := &Fabric{
+		rt:        rt,
+		latency:   cfg.Latency,
+		links:     make([]link, 2*cfg.Endpoints),
+		residuals: make([]residual, 2*cfg.Endpoints),
+		lastT:     rt.Now(),
+	}
+	for i := range f.links {
+		f.links[i].bw = cfg.Bandwidth
+	}
+	return f
+}
+
+// Endpoints returns the number of NIC-owning endpoints.
+func (f *Fabric) Endpoints() int { return len(f.links) / 2 }
+
+// SetBandwidth rescales one endpoint's NIC to bw bytes/s in both
+// directions — the degraded-link failure injection. In-flight flows are
+// re-shared immediately.
+func (f *Fabric) SetBandwidth(endpoint int, bw float64) {
+	if bw <= 0 {
+		panic("netsim: bandwidth must be positive")
+	}
+	f.mu.Lock()
+	f.advanceLocked()
+	f.links[2*endpoint].bw = bw
+	f.links[2*endpoint+1].bw = bw
+	f.reshareLocked()
+	f.mu.Unlock()
+}
+
+// BytesMoved returns the cumulative bytes delivered by completed and
+// in-progress transfers (integrated, not counted at completion).
+func (f *Fabric) BytesMoved() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.advanceLocked()
+	return f.bytesMoved
+}
+
+// FlowsCompleted returns how many transfers have retired (finished or
+// cancelled mid-flight).
+func (f *Fabric) FlowsCompleted() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.flowsDone
+}
+
+// LinkBusySeconds returns a NIC direction's cumulative transfer work in
+// full-bandwidth seconds (dir 0 = egress, 1 = ingress): utilization over a
+// window is Δbusy/Δt.
+func (f *Fabric) LinkBusySeconds(endpoint, dir int) float64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.advanceLocked()
+	return f.links[2*endpoint+dir].busyIntegral
+}
+
+// Transfer moves n bytes from endpoint src to endpoint dst, occupying
+// src's egress and dst's ingress NIC links. It blocks (in virtual time)
+// for the propagation latency plus the fair-shared transfer time, and
+// returns ctx.Err() if cancelled mid-flight. Loopback transfers (src ==
+// dst) pay only the latency: node-local traffic never crosses the NIC.
+func (f *Fabric) Transfer(ctx context.Context, src, dst int, n int64) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if src < 0 || src >= f.Endpoints() || dst < 0 || dst >= f.Endpoints() {
+		return fmt.Errorf("netsim: transfer %d→%d outside fabric of %d endpoints", src, dst, f.Endpoints())
+	}
+	if f.latency > 0 {
+		if err := f.rt.Sleep(ctx, f.latency); err != nil {
+			return err
+		}
+	}
+	if n <= 0 || src == dst {
+		return nil
+	}
+
+	fl, _ := f.pool.Get().(*flow)
+	if fl == nil {
+		fl = &flow{sel: simtime.NewSelector(f.rt)}
+	}
+	fl.egress, fl.ingress = 2*src, 2*dst+1
+	fl.remaining = float64(n)
+
+	f.mu.Lock()
+	f.advanceLocked()
+	f.links[fl.egress].n++
+	f.links[fl.ingress].n++
+	f.flows = append(f.flows, fl)
+	f.reshareLocked()
+
+	for {
+		if fl.remaining <= 1e-6 {
+			f.exitLocked(fl)
+			f.pool.Put(fl)
+			return nil
+		}
+		// Exact completion deadline at the current rate. A rate drop while
+		// parked only makes this deadline early — the flow re-integrates
+		// and re-parks for the remainder; a rate rise wakes it through
+		// reshareLocked. Reset under f.mu so wakes are serialized with the
+		// cycle boundary.
+		deadline := time.Duration(fl.remaining/fl.rate*float64(time.Second)) + time.Nanosecond
+		fl.parked = true
+		fl.sel.Reset()
+		f.mu.Unlock()
+
+		_, err := fl.sel.Wait(ctx, deadline)
+		f.mu.Lock()
+		fl.parked = false
+		f.advanceLocked()
+		if err != nil {
+			f.exitLocked(fl)
+			f.pool.Put(fl)
+			return err
+		}
+	}
+}
+
+// exitLocked removes fl from the fabric and re-shares the survivors.
+// Unlocks f.mu.
+func (f *Fabric) exitLocked(fl *flow) {
+	f.links[fl.egress].n--
+	f.links[fl.ingress].n--
+	for i, e := range f.flows {
+		if e == fl {
+			last := len(f.flows) - 1
+			f.flows[i] = f.flows[last]
+			f.flows[last] = nil
+			f.flows = f.flows[:last]
+			break
+		}
+	}
+	f.flowsDone++
+	f.reshareLocked()
+	f.mu.Unlock()
+}
+
+// advanceLocked integrates every in-flight flow's progress (and each
+// link's carried bytes) up to now. Rates are constant between events, so
+// the integration is exact.
+func (f *Fabric) advanceLocked() {
+	now := f.rt.Now()
+	dt := (now - f.lastT).Seconds()
+	f.lastT = now
+	if dt <= 0 || len(f.flows) == 0 {
+		return
+	}
+	for _, fl := range f.flows {
+		moved := fl.rate * dt
+		if moved > fl.remaining {
+			moved = fl.remaining
+		}
+		fl.remaining -= moved
+		f.bytesMoved += int64(moved)
+		eg, in := &f.links[fl.egress], &f.links[fl.ingress]
+		eg.busyIntegral += moved / eg.bw
+		in.busyIntegral += moved / in.bw
+	}
+}
+
+// reshareLocked recomputes max-min fair rates by water-filling: repeatedly
+// find the most-constrained link (smallest per-flow fair share among its
+// unfixed flows), fix its flows at that share, subtract their bandwidth,
+// and continue until every flow has a rate. Links are scanned in index
+// order, so the result is deterministic. Flows whose armed deadline became
+// stale (rate rose, or the flow was fixed by a different bottleneck than
+// last time) are woken to re-park; a rate drop is left to the armed
+// deadline, which fires early and re-integrates exactly.
+func (f *Fabric) reshareLocked() {
+	if len(f.flows) == 0 {
+		return
+	}
+	res := f.residuals
+	for i := range f.links {
+		res[i] = residual{cap: f.links[i].bw, n: f.links[i].n}
+	}
+	unfixed := len(f.flows)
+	for _, fl := range f.flows {
+		fl.prevRate = fl.rate
+		fl.rate = unfixedRate
+	}
+	for unfixed > 0 {
+		// The tightest link's fair share bounds every flow through it.
+		share := math.Inf(1)
+		for i := range res {
+			if res[i].n > 0 {
+				if s := res[i].cap / float64(res[i].n); s < share {
+					share = s
+				}
+			}
+		}
+		// Fix every flow crossing a bottleneck link at that share. Fixing
+		// by value (not by one chosen link) handles several links tying in
+		// a single deterministic pass.
+		for _, fl := range f.flows {
+			if fl.rate != unfixedRate {
+				continue
+			}
+			eg, in := &res[fl.egress], &res[fl.ingress]
+			if eg.cap/float64(eg.n) <= share+1e-9 || in.cap/float64(in.n) <= share+1e-9 {
+				fl.rate = share
+				eg.cap -= share
+				eg.n--
+				in.cap -= share
+				in.n--
+				unfixed--
+			}
+		}
+	}
+	for _, fl := range f.flows {
+		if fl.parked && fl.rate > fl.prevRate {
+			// The armed deadline is now too late; wake the flow to re-park
+			// at the higher rate. A rate drop is left alone — the armed
+			// deadline fires early and the flow re-integrates exactly. A
+			// claim that loses the race (the flow is concurrently completing
+			// or cancelling) is safely refused by the selector.
+			fl.sel.TryWake(0)
+			fl.parked = false
+		}
+	}
+}

@@ -498,6 +498,15 @@ func (c *PageCache) HitRate() float64 {
 	return float64(s.Hits) / float64(total)
 }
 
+// RemoteFetcher moves n fetched bytes from the storage server to the
+// reading node over the cluster interconnect. The multi-node runner
+// implements it with a netsim fabric transfer, so cold reads contend with
+// gradient traffic on the reading node's NIC; a nil fetcher means storage
+// is node-local.
+type RemoteFetcher interface {
+	Fetch(ctx context.Context, n int64) error
+}
+
 // Store is the sample-loading path: page cache over disk. Tenant routes the
 // cache traffic for attribution when the cache is shared by several sessions
 // (zero — the unattributed tenant — when it is not); each cluster session
@@ -506,6 +515,11 @@ type Store struct {
 	Disk   *Disk
 	Cache  *PageCache // nil disables caching
 	Tenant int
+	// Remote, when set, models storage reached over the network: every
+	// uncached read pays a fabric transfer (after the disk occupancy) in
+	// addition to the disk time — the Lustre-over-interconnect path of §3's
+	// Config A, now with real contention.
+	Remote RemoteFetcher
 }
 
 // WithTenant returns a copy of the store routing cache traffic as the given
@@ -524,7 +538,7 @@ func (st *Store) WithTenant(id int) *Store {
 // instead of issuing redundant reads for bytes already on their way.
 func (st *Store) ReadSample(ctx context.Context, rt simtime.Runtime, s *data.Sample) error {
 	if st.Cache == nil {
-		if err := st.Disk.Read(ctx, s.RawBytes); err != nil {
+		if err := st.fetch(ctx, s.RawBytes); err != nil {
 			return err
 		}
 		s.LoadedAt = rt.Now()
@@ -536,7 +550,7 @@ func (st *Store) ReadSample(ctx context.Context, rt simtime.Runtime, s *data.Sam
 			break
 		}
 		if waiter == nil { // leader: fetch and publish
-			if err := st.Disk.Read(ctx, s.RawBytes); err != nil {
+			if err := st.fetch(ctx, s.RawBytes); err != nil {
 				st.Cache.AbortFetch(s.Key)
 				return err
 			}
@@ -548,5 +562,17 @@ func (st *Store) ReadSample(ctx context.Context, rt simtime.Runtime, s *data.Sam
 		}
 	}
 	s.LoadedAt = rt.Now()
+	return nil
+}
+
+// fetch is the uncached read path: the disk occupancy, then — for remote
+// storage — the network transfer to the reading node.
+func (st *Store) fetch(ctx context.Context, n int64) error {
+	if err := st.Disk.Read(ctx, n); err != nil {
+		return err
+	}
+	if st.Remote != nil {
+		return st.Remote.Fetch(ctx, n)
+	}
 	return nil
 }

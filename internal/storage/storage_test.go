@@ -177,3 +177,51 @@ func TestQuickCacheCapacityInvariant(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// sleepFetcher models the network leg of a remote store: each fetched byte
+// costs time at a fixed bandwidth.
+type sleepFetcher struct {
+	rt    simtime.Runtime
+	bw    float64
+	bytes int64
+}
+
+func (f *sleepFetcher) Fetch(ctx context.Context, n int64) error {
+	f.bytes += n
+	return f.rt.Sleep(ctx, time.Duration(float64(n)/f.bw*float64(time.Second)))
+}
+
+func TestRemoteStorePaysNetworkOnColdReadsOnly(t *testing.T) {
+	k := simtime.NewVirtual()
+	k.Run(func() {
+		disk := NewDisk(k, "lustre", 1e9, 1)
+		cache := NewPageCache(1 << 30)
+		net := &sleepFetcher{rt: k, bw: 0.5e9}
+		st := &Store{Disk: disk, Cache: cache, Remote: net}
+		s := &data.Sample{Key: data.KeyOf("remote", 1), RawBytes: 100e6}
+
+		start := k.Now()
+		if err := st.ReadSample(context.Background(), k, s); err != nil {
+			t.Fatal(err)
+		}
+		// Cold: 0.1s disk + 0.2s network.
+		if got := (k.Now() - start).Seconds(); math.Abs(got-0.3) > 0.01 {
+			t.Fatalf("cold remote read took %.3fs, want ≈0.3s", got)
+		}
+		if net.bytes != s.RawBytes {
+			t.Fatalf("fetched %d network bytes, want %d", net.bytes, s.RawBytes)
+		}
+
+		start = k.Now()
+		if err := st.ReadSample(context.Background(), k, s); err != nil {
+			t.Fatal(err)
+		}
+		// Warm: the node-local page cache absorbs the read entirely.
+		if got := k.Now() - start; got != 0 {
+			t.Fatalf("warm remote read took %v, want 0", got)
+		}
+		if net.bytes != s.RawBytes {
+			t.Fatal("cache hit paid the network again")
+		}
+	})
+}

@@ -55,14 +55,24 @@
 // sentinels ErrSessionConsumed, ErrSessionClosed, ErrClusterSaturated,
 // ErrClusterClosed; see errors.go for the taxonomy.
 //
-// The v1 shims New, Simulate, and BaselineFactory remain only for
-// downstream compatibility, are no longer used inside this repository,
-// and will be removed in v3 — migrate to Open, Train/TrainWorkload, and
-// LoaderByName.
+// Multi-node data-parallel training runs through TrainMultiNode: each
+// node is a full testbed with its own loader over a dataset shard, and
+// gradient all-reduce runs as ring-reduce flows over a simulated cluster
+// interconnect that dataset fetches contend with:
+//
+//	rep, err := minato.TrainMultiNode("speech-3s",
+//	    minato.WithNodes(4),
+//	    minato.WithLoader("minato"),
+//	)
+//	// rep.StepTime(), rep.NetworkStallShare(), rep.PerNode, ...
+//
+// The v1 shims New, Simulate, and BaselineFactory were removed in v3 —
+// migrate to Open, Train/TrainWorkload, and LoaderByName.
 //
 // For embedding the loader around custom datasets and pipelines, see
-// examples/quickstart and examples/multitenant; README.md has the
-// quickstart walkthrough and DESIGN.md the simulation substitution table.
+// examples/quickstart, examples/multitenant, and examples/multinode;
+// README.md has the quickstart walkthrough and DESIGN.md the simulation
+// substitution table.
 package minato
 
 import (
@@ -131,13 +141,6 @@ type (
 	Runtime = simtime.Runtime
 )
 
-// New returns a MinatoLoader over spec, running on env.
-//
-// Deprecated: use Open, which wires the environment, spec, and loader from
-// functional options and streams batches through Session.Batches. New is
-// unused inside this repository and will be removed in v3.
-func New(env *Env, spec Spec, cfg Config) *Loader { return core.New(env, spec, cfg) }
-
 // DefaultConfig returns the paper's MinatoLoader configuration (§5.1).
 func DefaultConfig() Config { return core.DefaultConfig() }
 
@@ -167,16 +170,6 @@ func ConfigA() HardwareConfig { return hardware.ConfigA() }
 // ConfigB is the paper's 80-core, 8×V100 server (§3).
 func ConfigB() HardwareConfig { return hardware.ConfigB() }
 
-// Simulate runs one training session on a fresh virtual-time kernel.
-//
-// Deprecated: use Train (registered workloads) or TrainWorkload (workload
-// values), which resolve loaders through the registry and accept the same
-// functional options as Open. Simulate is unused inside this repository
-// and will be removed in v3.
-func Simulate(cfg HardwareConfig, w Workload, f Factory, p Params) (*Report, error) {
-	return trainer.Simulate(cfg, w, f, p)
-}
-
 // The paper's workloads (§2.2, Table 3).
 
 // ImageSegmentationWorkload is KiTS19 → 3D-UNet.
@@ -196,14 +189,6 @@ func MinatoFactory() Factory { return loaders.Minato(core.DefaultConfig()) }
 
 // MinatoFactoryWith builds MinatoLoader with a custom config.
 func MinatoFactoryWith(cfg Config) Factory { return loaders.Minato(cfg) }
-
-// BaselineFactory returns a baseline loader factory by name: "pytorch",
-// "pecan", or "dali".
-//
-// Deprecated: use LoaderByName, which resolves any registered loader.
-// BaselineFactory is unused inside this repository and will be removed in
-// v3.
-func BaselineFactory(name string) (Factory, bool) { return loaders.ByName(name) }
 
 // AllFactories returns the paper's four systems in comparison order.
 func AllFactories() []Factory { return loaders.Defaults() }

@@ -2,7 +2,6 @@ package minato
 
 import (
 	"context"
-	"io"
 	"testing"
 	"time"
 )
@@ -30,43 +29,37 @@ func TestPublicAPISession(t *testing.T) {
 }
 
 // TestPublicAPICustomLoader embeds the loader around a user-defined
-// dataset and pipeline, as a downstream application would.
+// dataset and pipeline through the session API, as a downstream
+// application would.
 func TestPublicAPICustomLoader(t *testing.T) {
-	rt := NewVirtualRuntime()
-	rt.Run(func() {
-		env := NewEnv(rt, EnvConfig{Cores: 4, CacheBytes: 4 << 30})
-		pipeline := NewPipeline("custom",
-			NewTransform("step", func(*Sample) time.Duration { return 5 * time.Millisecond }, nil))
-		ld := New(env, Spec{
-			Dataset:    SubsetDataset(COCO(1), 64),
-			Pipeline:   pipeline,
-			BatchSize:  4,
-			Iterations: 8,
-			Seed:       3,
-		}, DefaultConfig())
-		if err := ld.Start(context.Background()); err != nil {
+	pipeline := NewPipeline("custom",
+		NewTransform("step", func(*Sample) time.Duration { return 5 * time.Millisecond }, nil))
+	sess, err := Open(SubsetDataset(COCO(1), 64),
+		WithEnv(EnvConfig{Cores: 4, CacheBytes: 4 << 30}),
+		WithPipeline(pipeline),
+		WithBatchSize(4),
+		WithIterations(8),
+		WithSeed(3),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for b, err := range sess.Batches(context.Background()) {
+		if err != nil {
 			t.Fatal(err)
 		}
-		n := 0
-		for {
-			b, err := ld.Next(context.Background(), 0)
-			if err == io.EOF {
-				break
-			}
-			if err != nil {
-				t.Fatal(err)
-			}
-			if b.Size() != 4 {
-				t.Fatalf("batch size %d", b.Size())
-			}
-			n++
+		if b.Size() != 4 {
+			t.Fatalf("batch size %d", b.Size())
 		}
-		if n != 8 {
-			t.Fatalf("delivered %d batches, want 8", n)
-		}
-		ld.Stop()
-		_ = env.WG.Wait(context.Background())
-	})
+		n++
+	}
+	if n != 8 {
+		t.Fatalf("delivered %d batches, want 8", n)
+	}
+	if _, err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestDatasetHelpers(t *testing.T) {

@@ -1,0 +1,154 @@
+package minato
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/minatoloader/minato/internal/workload"
+)
+
+// mnWorkload is a shortened speech workload for multi-node API tests.
+func mnWorkload(iters int) Workload {
+	w := workload.Speech(1, 3*time.Second)
+	w.Dataset = SubsetDataset(w.Dataset, 4000)
+	return w.WithIterations(iters)
+}
+
+func TestTrainMultiNodeDefaults(t *testing.T) {
+	rep, err := TrainMultiNodeWorkload(mnWorkload(12), WithGPUs(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Nodes != 2 {
+		t.Fatalf("default node count = %d, want 2", rep.Nodes)
+	}
+	if len(rep.PerNode) != 2 {
+		t.Fatalf("PerNode = %d entries, want 2", len(rep.PerNode))
+	}
+	if rep.Steps == 0 || rep.StepTime() == 0 {
+		t.Fatalf("no synchronized steps recorded: %+v", rep)
+	}
+	if rep.NetworkBytes == 0 {
+		t.Fatal("default remote-store cluster moved no fabric bytes")
+	}
+}
+
+func TestTrainMultiNodeByWorkloadName(t *testing.T) {
+	rep, err := TrainMultiNode("speech-3s",
+		WithNodes(2), WithGPUs(1), WithIterations(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Workload != "speech-3s" || rep.Nodes != 2 {
+		t.Fatalf("unexpected report identity: %+v", rep)
+	}
+	if _, err := TrainMultiNode("no-such-workload", WithNodes(2)); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestTrainMultiNodeDeterministic(t *testing.T) {
+	run := func() *MultiNodeReport {
+		rep, err := TrainMultiNodeWorkload(mnWorkload(10),
+			WithTopology(Topology{Nodes: 2, StragglerNode: 1, StragglerFactor: 4}),
+			WithGPUs(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	r1, r2 := run(), run()
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatalf("nondeterministic TrainMultiNode:\n run1: %+v\n run2: %+v", r1, r2)
+	}
+}
+
+func TestTrainMultiNodeStragglerScenario(t *testing.T) {
+	// The README scenario: a core-starved node drags the synchronous
+	// cluster, and MinatoLoader's preprocessing overlap wins on
+	// whole-cluster step time.
+	topo := Topology{Nodes: 2, StragglerNode: 1, StragglerFactor: 8}
+	pt, err := TrainMultiNodeWorkload(mnWorkload(12),
+		WithTopology(topo), WithGPUs(1), WithLoader("pytorch"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mn, err := TrainMultiNodeWorkload(mnWorkload(12),
+		WithTopology(topo), WithGPUs(1), WithLoader("minato"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mn.StepTime() >= pt.StepTime() {
+		t.Fatalf("minato cluster step %v not faster than pytorch %v under straggler",
+			mn.StepTime(), pt.StepTime())
+	}
+}
+
+func TestTopologyOptionsRejectedElsewhere(t *testing.T) {
+	var ce *ConfigError
+
+	if _, err := Train("speech-3s", WithNodes(2)); !errors.As(err, &ce) {
+		t.Fatalf("Train with WithNodes: %v, want *ConfigError", err)
+	}
+	if _, err := Open(tenantCorpus{n: 64}, WithNodes(2)); !errors.As(err, &ce) {
+		t.Fatalf("Open with WithNodes: %v, want *ConfigError", err)
+	}
+	cl, err := NewCluster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.Open(tenantCorpus{n: 64}, WithTopology(Topology{Nodes: 2})); !errors.As(err, &ce) {
+		t.Fatalf("Cluster.Open with WithTopology: %v, want *ConfigError", err)
+	}
+}
+
+func TestTrainMultiNodeRejectsInvalidTopology(t *testing.T) {
+	var ce *ConfigError
+	cases := []Topology{
+		{Nodes: -1},
+		{Nodes: 2, StragglerNode: 5, StragglerFactor: 4},
+		{Nodes: 2, DegradedNode: -1, DegradedFactor: 2},
+		{Nodes: 2, StragglerNode: 0, StragglerFactor: 0.5},
+	}
+	for i, topo := range cases {
+		if _, err := TrainMultiNode("speech-3s", WithTopology(topo)); !errors.As(err, &ce) {
+			t.Errorf("case %d: %v, want *ConfigError", i, err)
+		}
+	}
+	// Single-machine-only options are refused too.
+	if _, err := TrainMultiNode("speech-3s", WithNodes(2), WithPriority(2)); !errors.As(err, &ce) {
+		t.Errorf("WithPriority on TrainMultiNode: want *ConfigError")
+	}
+	if _, err := TrainMultiNode("speech-3s", WithNodes(2), WithRuntime(NewVirtualRuntime())); !errors.As(err, &ce) {
+		t.Errorf("WithRuntime on TrainMultiNode: want *ConfigError")
+	}
+}
+
+func TestTrainMultiNodeHeterogeneousMix(t *testing.T) {
+	rep, err := TrainMultiNodeWorkload(mnWorkload(8),
+		WithTopology(Topology{Mix: []HardwareConfig{ConfigA(), ConfigB()}}),
+		WithGPUs(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Nodes != 2 {
+		t.Fatalf("mix run nodes = %d, want 2", rep.Nodes)
+	}
+	if rep.PerNode[0].Hardware == rep.PerNode[1].Hardware {
+		t.Fatalf("mix nodes identical hardware: %q", rep.PerNode[0].Hardware)
+	}
+}
+
+func TestWithGPUsDoesNotMutateCallerMix(t *testing.T) {
+	mix := []HardwareConfig{ConfigA(), ConfigB()}
+	topo := Topology{Mix: mix}
+	if _, err := TrainMultiNodeWorkload(mnWorkload(6), WithTopology(topo), WithGPUs(1)); err != nil {
+		t.Fatal(err)
+	}
+	if mix[0].GPUCount != ConfigA().GPUCount || mix[1].GPUCount != ConfigB().GPUCount {
+		t.Fatalf("caller's Mix mutated: %d/%d GPUs", mix[0].GPUCount, mix[1].GPUCount)
+	}
+}

@@ -35,6 +35,7 @@ type sessionOptions struct {
 	retain      bool
 	weight      float64
 	prioritySet bool
+	topo        *Topology
 }
 
 // Option configures a session: Open and Cluster.Open, or a training run
@@ -241,6 +242,15 @@ func (o *sessionOptions) rejectClusterOwned() error {
 	case o.rt != nil:
 		return configErr("WithRuntime", "cluster-owned: the runtime belongs to NewCluster")
 	}
+	return o.rejectTopology()
+}
+
+// rejectTopology refuses the multi-node options on single-machine entry
+// points.
+func (o *sessionOptions) rejectTopology() error {
+	if o.topo != nil {
+		return configErr("WithNodes/WithTopology", "multi-node clusters train through TrainMultiNode")
+	}
 	return nil
 }
 
@@ -342,6 +352,9 @@ type sessionFinal struct {
 func Open(dataset Dataset, opts ...Option) (*Session, error) {
 	o := buildOptions(opts)
 	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	if err := o.rejectTopology(); err != nil {
 		return nil, err
 	}
 	cl, err := newCluster(&clusterOptions{hw: o.hw, env: o.env, gpus: o.gpus, rt: o.rt})
@@ -591,6 +604,9 @@ func TrainWorkload(w Workload, opts ...Option) (*Report, error) {
 
 func trainOpts(w Workload, o *sessionOptions) (*Report, error) {
 	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	if err := o.rejectTopology(); err != nil {
 		return nil, err
 	}
 	if o.env != nil {
