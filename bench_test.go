@@ -245,6 +245,120 @@ func BenchmarkClusterTenants(b *testing.B) {
 	}
 }
 
+// warmBenchPipeline returns the warm-tier preprocessing pipeline. Each call
+// builds a fresh Pipeline, but the signature is name-derived, so every
+// tenant session shares one materialized key space.
+func warmBenchPipeline() *Pipeline {
+	return NewPipeline("warm-bench",
+		NewTransform("heavy-step", func(*Sample) time.Duration { return 5 * time.Millisecond }, nil))
+}
+
+// BenchmarkWarmEpoch is the materialized-cache tier.
+//
+// epochs: one session, two epochs over a speech corpus with the cache
+// enabled. Epoch 1 materializes, epoch 2 restores. Reported metrics are
+// simulated epoch times (bit-stable run to run) and their ratio
+// warm_speedup_x — the tentpole acceptance bar is ≥ 2.
+//
+// tenants: 1, 4, and 16 sessions warm-starting the same corpus on one
+// cluster. Fills are single-flighted, so the corpus is preprocessed once
+// regardless of tenant count; mat_hit_pct reports the resulting hit rate.
+func BenchmarkWarmEpoch(b *testing.B) {
+	b.Run("epochs", func(b *testing.B) {
+		w := workload.Speech(1, 3*time.Second)
+		ds := SubsetDataset(w.Dataset, 640)
+		perEpoch := 640 / 32
+		var coldMs, warmMs float64
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sess, err := Open(ds,
+				WithPipeline(w.Pipeline),
+				WithBatchSize(32),
+				WithEpochs(2),
+				WithHardware(ConfigA()),
+				WithMaterializedCache(4<<30),
+			)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var t1, t2 time.Duration
+			n := 0
+			for _, err := range sess.Batches(context.Background()) {
+				if err != nil {
+					b.Fatal(err)
+				}
+				n++
+				switch n {
+				case perEpoch:
+					t1 = sess.env.RT.Now()
+				case 2 * perEpoch:
+					t2 = sess.env.RT.Now()
+				}
+			}
+			if _, err := sess.Close(); err != nil {
+				b.Fatal(err)
+			}
+			coldMs = t1.Seconds() * 1000
+			warmMs = (t2 - t1).Seconds() * 1000
+		}
+		b.ReportMetric(coldMs, "cold_epoch_ms")
+		b.ReportMetric(warmMs, "warm_epoch_ms")
+		b.ReportMetric(coldMs/warmMs, "warm_speedup_x")
+		b.ReportMetric(float64(b.N*640*2)/b.Elapsed().Seconds(), "samples/sec_wall")
+	})
+
+	const batchesPerSession = 50
+	for _, tenants := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("tenants=%d", tenants), func(b *testing.B) {
+			var total int64
+			var hitPct float64
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cl, err := NewCluster(WithHardware(ConfigA()), WithMaterializedCache(4<<30))
+				if err != nil {
+					b.Fatal(err)
+				}
+				var wg sync.WaitGroup
+				for t := 0; t < tenants; t++ {
+					sess, err := cl.Open(tenantCorpus{n: 2048},
+						WithPipeline(warmBenchPipeline()),
+						WithBatchSize(32),
+						WithIterations(batchesPerSession),
+						WithGPUs(1),
+						WithSeed(1), // same order: tenants warm the same shard
+					)
+					if err != nil {
+						b.Fatal(err)
+					}
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for _, err := range sess.Batches(context.Background()) {
+							if err != nil {
+								b.Error(err)
+								return
+							}
+						}
+						rep, err := sess.Close()
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						atomic.AddInt64(&total, rep.Samples)
+					}()
+				}
+				wg.Wait()
+				hitPct = 100 * cl.Stats().MatCache.HitRate()
+				if err := cl.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "samples/sec_wall")
+			b.ReportMetric(hitPct, "mat_hit_pct")
+		})
+	}
+}
+
 // BenchmarkPipelineCostModel measures the pure cost-model path (no
 // simulation), the hot function of profiling runs.
 func BenchmarkPipelineCostModel(b *testing.B) {

@@ -10,6 +10,7 @@ import (
 	"github.com/minatoloader/minato/internal/gpu"
 	"github.com/minatoloader/minato/internal/hardware"
 	"github.com/minatoloader/minato/internal/loader"
+	"github.com/minatoloader/minato/internal/matcache"
 	"github.com/minatoloader/minato/internal/simtime"
 	"github.com/minatoloader/minato/internal/storage"
 	"github.com/minatoloader/minato/internal/trainer"
@@ -40,6 +41,7 @@ type clusterOptions struct {
 	rt          Runtime
 	maxSessions int
 	admission   AdmissionPolicy
+	matBytes    int64
 }
 
 // WithMaxSessions caps how many sessions the cluster hosts concurrently.
@@ -91,6 +93,7 @@ type Cluster struct {
 	gpus   []*gpu.GPU
 	disk   *storage.Disk
 	cache  *storage.PageCache
+	mat    *matcache.Cache
 	store  *storage.Store
 	pool   *data.Pool
 	shares *loader.FairShare
@@ -167,6 +170,22 @@ func newCluster(co *clusterOptions) (*Cluster, error) {
 		env, disk, cache := buildEnv(rt, ec)
 		c.cpu, c.gpus, c.disk, c.cache = env.CPU, env.GPUs, disk, cache
 		c.store = env.Store
+	}
+	if co.matBytes < 0 {
+		return nil, configErr("WithMaterializedCache", fmt.Sprintf("capacity %d < 0", co.matBytes))
+	}
+	if co.matBytes > 0 {
+		if c.cache == nil {
+			return nil, configErr("WithMaterializedCache", "requires a page cache to carve capacity from")
+		}
+		// The materialized layer shares the machine's memory with the page
+		// cache: carve its capacity out explicitly so the two layers never
+		// double-count the same simulated bytes.
+		if granted := c.cache.ReserveCapacity(co.matBytes); granted < co.matBytes {
+			return nil, configErr("WithMaterializedCache",
+				fmt.Sprintf("capacity %d exceeds the page cache's %d", co.matBytes, granted))
+		}
+		c.mat = matcache.New(co.matBytes)
 	}
 	c.shares = loader.NewFairShare(int(c.cpu.Capacity()))
 	c.gpuLoad = make([]int, len(c.gpus))
@@ -247,6 +266,11 @@ func (c *Cluster) open(dataset Dataset, o *sessionOptions, ownsCluster bool) (*S
 	cacheTenant := 0
 	if c.cache != nil {
 		cacheTenant = c.cache.JoinTenant()
+	}
+	if c.mat != nil {
+		// The materialized cache shares the page cache's tenant ids, so one
+		// id routes a session's traffic through both layers.
+		c.mat.JoinTenant(cacheTenant)
 	}
 	gpuIdxs := c.acquireGPUs(gpuCount)
 	env := c.sessionEnv(gpuIdxs, cacheTenant, share)
@@ -355,12 +379,18 @@ func (c *Cluster) train(w Workload, o *sessionOptions) (*Report, error) {
 	if c.cache != nil {
 		cacheTenant = c.cache.JoinTenant()
 	}
+	if c.mat != nil {
+		c.mat.JoinTenant(cacheTenant)
+	}
 	gpuIdxs := c.acquireGPUs(gpuCount)
 	defer func() {
 		c.releaseGPUs(gpuIdxs)
 		share.Leave()
 		if c.cache != nil {
 			c.cache.LeaveTenant(cacheTenant)
+		}
+		if c.mat != nil {
+			c.mat.LeaveTenant(cacheTenant)
 		}
 		c.release()
 	}()
@@ -438,6 +468,7 @@ func (c *Cluster) sessionEnv(gpuIdxs []int, cacheTenant int, share *clusterShare
 		WG:    simtime.NewWaitGroup(c.rt),
 		Pool:  c.pool,
 		Gov:   share,
+		Mat:   c.mat,
 	}
 }
 
@@ -507,6 +538,9 @@ func (c *Cluster) releaseSession(s *Session) {
 	if c.cache != nil {
 		c.cache.LeaveTenant(s.cacheTenant)
 	}
+	if c.mat != nil {
+		c.mat.LeaveTenant(s.cacheTenant)
+	}
 	c.release()
 }
 
@@ -524,6 +558,9 @@ func (c *Cluster) reclaim() {
 	}
 	if c.cache != nil {
 		c.cache.Recycle()
+	}
+	if c.mat != nil {
+		c.mat.Recycle()
 	}
 }
 
@@ -579,9 +616,11 @@ type ClusterStats struct {
 	// tenants.
 	WorkerCapacity int
 	// Cache and Pool snapshot the shared page cache (whole-cache view) and
-	// sample pool.
-	Cache CacheStats
-	Pool  PoolStats
+	// sample pool; MatCache the materialized preprocessed-sample cache
+	// (zero when WithMaterializedCache is not enabled).
+	Cache    CacheStats
+	MatCache MatCacheStats
+	Pool     PoolStats
 	// Sessions holds a live SessionStats per open loading session, in no
 	// particular order. Training runs (Cluster.Train) occupy session slots
 	// — they are counted in ActiveSessions — but stream through no public
@@ -605,8 +644,11 @@ type SessionStats struct {
 	Batches int64
 	Samples int64
 	Bytes   int64
-	// Cache is the session's attributable slice of the shared page cache.
-	Cache CacheStats
+	// Cache is the session's attributable slice of the shared page cache;
+	// MatCache its slice of the materialized preprocessed-sample cache
+	// (zero when WithMaterializedCache is not enabled).
+	Cache    CacheStats
+	MatCache MatCacheStats
 }
 
 // Stats returns a live snapshot of the cluster: tenancy counters, the
@@ -629,6 +671,9 @@ func (c *Cluster) Stats() ClusterStats {
 	c.mu.Unlock()
 	if c.cache != nil {
 		st.Cache = c.cache.Stats()
+	}
+	if c.mat != nil {
+		st.MatCache = c.mat.Stats()
 	}
 	st.Pool = c.pool.Stats()
 	for _, s := range sessions {

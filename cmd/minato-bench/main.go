@@ -13,6 +13,7 @@
 //	minato-bench -fleet                 # scale-out tier: 8/32/64 GPUs
 //	minato-bench -tenants               # multi-tenant tier: 1/4/16 sessions
 //	minato-bench -nodes                 # multi-node tier: 2/8-node clusters
+//	minato-bench -warm                  # warm-start tier: materialized cache
 //
 // Experiment IDs follow the paper: table1..table3, fig1b..fig12, e1 (the
 // artifact appendix run), and abl-* design ablations. Loader and workload
@@ -45,6 +46,7 @@ func main() {
 		fleet    = flag.Bool("fleet", false, "run the multi-GPU scale-out tier (8/32/64 simulated GPUs)")
 		tenants  = flag.Bool("tenants", false, "run the multi-tenant cluster tier (1/4/16 concurrent sessions)")
 		nodes    = flag.Bool("nodes", false, "run the multi-node tier (2/8-node clusters over the netsim fabric)")
+		warm     = flag.Bool("warm", false, "run the warm-start tier (1/4/16 tenants over a shared materialized cache)")
 		list     = flag.Bool("list", false, "list experiment IDs and registered names, then exit")
 	)
 	flag.Parse()
@@ -57,6 +59,9 @@ func main() {
 	}
 	if *nodes {
 		os.Exit(runNodes(*workload, *seed, *quick))
+	}
+	if *warm {
+		os.Exit(runWarm(*workload, *seed, *quick))
 	}
 
 	if (*loader != "" || *workload != "") && !*list {
@@ -197,6 +202,72 @@ func runTenants(workload string, seed uint64, quick bool) int {
 		fmt.Printf("tenants %2d × %s: %d samples in %s wall (%.0f samples/s aggregate), %d attributed cache hits\n",
 			n, workload, samples.Load(), wall.Round(time.Millisecond),
 			float64(samples.Load())/wall.Seconds(), hits.Load())
+		if err := cl.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+	return 0
+}
+
+// runWarm benchmarks the warm-start tier: 1, 4, and 16 tenants training the
+// same workload on one cluster with the materialized preprocessed-sample
+// cache enabled. Every tenant uses the same seed, so all sessions walk the
+// same shard in the same order — the co-tenant warm-start scenario where
+// single-flight fills materialize each entry exactly once and everyone else
+// restores instead of preprocessing.
+func runWarm(workload string, seed uint64, quick bool) int {
+	if workload == "" {
+		workload = "speech-3s"
+	}
+	iters := 100
+	if quick {
+		iters = 25
+	}
+	for _, n := range []int{1, 4, 16} {
+		cl, err := minato.NewCluster(
+			minato.WithHardware(minato.ConfigA()),
+			minato.WithMaxSessions(n),
+			minato.WithMaterializedCache(4<<30),
+		)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		start := time.Now()
+		var wg sync.WaitGroup
+		var samples atomic.Int64
+		failed := atomic.Bool{}
+		for t := 0; t < n; t++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				// Same seed for every tenant: the warm-start matrix wants
+				// the tenants to share one key sequence, not stride apart.
+				rep, err := cl.Train(workload,
+					minato.WithSeed(seed),
+					minato.WithIterations(iters),
+					minato.WithGPUs(1),
+				)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					failed.Store(true)
+					return
+				}
+				samples.Add(rep.Samples)
+			}()
+		}
+		wg.Wait()
+		if failed.Load() {
+			cl.Close()
+			return 1
+		}
+		wall := time.Since(start)
+		mc := cl.Stats().MatCache
+		fmt.Printf("warm %2d tenants × %s: %d samples in %s wall (%.0f samples/s aggregate), mat cache %d hits / %d fills (%.1f%% hit rate), %.1fs preprocessing saved\n",
+			n, workload, samples.Load(), wall.Round(time.Millisecond),
+			float64(samples.Load())/wall.Seconds(),
+			mc.Hits, mc.Fills, 100*mc.HitRate(), mc.Saved.Seconds())
 		if err := cl.Close(); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1

@@ -40,6 +40,7 @@ import (
 
 	"github.com/minatoloader/minato/internal/data"
 	"github.com/minatoloader/minato/internal/loader"
+	"github.com/minatoloader/minato/internal/matcache"
 	"github.com/minatoloader/minato/internal/metrics"
 	"github.com/minatoloader/minato/internal/queue"
 	"github.com/minatoloader/minato/internal/simtime"
@@ -180,6 +181,13 @@ type Loader struct {
 	profiler *Profiler
 	sched    *Scheduler
 
+	// mat is the cluster's materialized preprocessed-sample cache (nil
+	// disables the warm path); matSig keys this loader's entries by its
+	// pipeline, matTenant attributes its traffic. See warm.go.
+	mat       *matcache.Cache
+	matSig    uint64
+	matTenant int
+
 	// Accounting for batch-constructor termination: a constructor may
 	// exit only when every emitted sample has been consumed or abandoned.
 	emitted   atomic.Int64 // samples handed to workers
@@ -242,6 +250,13 @@ func New(env *loader.Env, spec loader.Spec, cfg Config) *Loader {
 	l.sched = NewScheduler(l, cfg)
 	if cfg.OrderPreserving {
 		l.ordered = newOrderedBuffer()
+	}
+	if env.Mat != nil && spec.Pipeline != nil {
+		l.mat = env.Mat
+		l.matSig = spec.Pipeline.Signature()
+		if env.Store != nil {
+			l.matTenant = env.Store.Tenant
+		}
 	}
 	return l
 }
@@ -436,6 +451,9 @@ func (l *Loader) HeartbeatWakes() int64 { return l.heartbeats.Load() }
 
 // processNew runs the load-balancer path of Algorithm 1 for one sample.
 func (l *Loader) processNew(ctx context.Context, it loader.IndexItem) error {
+	if l.mat != nil {
+		return l.processNewWarm(ctx, it)
+	}
 	s, err := loader.LoadSample(ctx, l.env, l.spec, it)
 	if err != nil {
 		return err
@@ -483,7 +501,22 @@ func (l *Loader) processNew(ctx context.Context, it loader.IndexItem) error {
 
 // finishSlow completes a timed-out sample from its recorded transform
 // index and publishes it to the slow queue (Algorithm 1 lines 14–18).
+// With the materialized cache enabled, every parked sample carries a
+// leader claim from the warm path: the finished output is published to the
+// cache, and any failure (or panic unwinding to runSample) aborts the
+// claim so parked co-tenants re-elect a leader instead of deadlocking.
 func (l *Loader) finishSlow(ctx context.Context, s *data.Sample) error {
+	settled := true
+	var mk matcache.Key
+	if l.mat != nil {
+		mk = matcache.Key{Obj: s.Key, Sig: l.matSig}
+		settled = false
+		defer func() {
+			if !settled {
+				l.mat.Abort(mk)
+			}
+		}()
+	}
 	s.ResumedFrom = s.NextTransform
 	s.TimesResumed++
 	if err := l.spec.Pipeline.Apply(ctx, l.env.CPU, s); err != nil {
@@ -492,6 +525,10 @@ func (l *Loader) finishSlow(ctx context.Context, s *data.Sample) error {
 	}
 	s.PreprocEnd = l.env.RT.Now()
 	l.profiler.Record(s.PreprocCost)
+	if l.mat != nil {
+		l.mat.Complete(l.matTenant, mk, matEntry(s))
+		settled = true
+	}
 	if l.cfg.OrderPreserving {
 		l.ordered.add(s)
 		l.enqueued.Add(1)

@@ -1,0 +1,140 @@
+// Warm path: MinatoLoader in front of a materialized preprocessed-sample
+// cache (internal/matcache). Epoch 1 runs the normal Algorithm 1 path and
+// materializes every finished sample; epoch 2+ — and co-tenant sessions
+// sharing the cluster's cache — hit the cache and skip both the raw storage
+// read and the whole transform pipeline, paying only a memory-bandwidth
+// restore. Fills are single-flighted: of all workers (across all tenants)
+// racing an uncached key, exactly one preprocesses it.
+package core
+
+import (
+	"context"
+	"errors"
+
+	"github.com/minatoloader/minato/internal/data"
+	"github.com/minatoloader/minato/internal/loader"
+	"github.com/minatoloader/minato/internal/matcache"
+	"github.com/minatoloader/minato/internal/transform"
+)
+
+// processNewWarm is processNew with the cache in front: a hit restores the
+// materialized sample, a miss elects this worker leader (or parks it behind
+// the current leader) and falls through to the cold path.
+func (l *Loader) processNewWarm(ctx context.Context, it loader.IndexItem) error {
+	s := loader.FillSample(l.env, l.spec, it)
+	mk := matcache.Key{Obj: s.Key, Sig: l.matSig}
+	for {
+		e, hit, w := l.mat.GetOrBegin(l.matTenant, mk, l.env.RT)
+		if hit {
+			return l.restoreHit(ctx, s, e)
+		}
+		if w == nil {
+			break // leader: materialize below
+		}
+		if err := w.Wait(ctx); err != nil {
+			l.env.Pool.Put(s)
+			return err
+		}
+	}
+	return l.leadFill(ctx, s, mk)
+}
+
+// leadFill runs the cold path for a leader-claimed key. The claim must be
+// settled on every exit or parked followers deadlock the kernel: Complete
+// when the sample finishes fast, carried into finishSlow by a slow park,
+// Abort on any error or panic (the deferred abort runs while a panic
+// unwinds toward runSample's recover, before any follower could observe a
+// stale claim).
+func (l *Loader) leadFill(ctx context.Context, s *data.Sample, mk matcache.Key) (err error) {
+	settled := false
+	defer func() {
+		if !settled {
+			l.mat.Abort(mk)
+		}
+	}()
+	if rerr := l.env.Store.ReadSample(ctx, l.env.RT, s); rerr != nil {
+		l.env.Pool.Put(s)
+		return rerr
+	}
+	s.PreprocStart = l.env.RT.Now()
+
+	// Fig 3a heuristic mode: classify upfront by size, no timeout.
+	if l.cfg.SizeHeuristicThreshold > 0 {
+		if s.RawBytes > l.cfg.SizeHeuristicThreshold {
+			s.MarkedSlow = true
+			if perr := l.tempQ.Put(ctx, tempItem{s: s}); perr != nil {
+				return perr
+			}
+			settled = true // finishSlow settles the claim
+			return nil
+		}
+		if aerr := l.spec.Pipeline.Apply(ctx, l.env.CPU, s); aerr != nil {
+			l.env.Pool.Put(s)
+			return aerr
+		}
+		s.PreprocEnd = l.env.RT.Now()
+		l.profiler.Record(s.PreprocCost)
+		l.mat.Complete(l.matTenant, mk, matEntry(s))
+		settled = true
+		return l.putFast(ctx, s)
+	}
+
+	budget := l.profiler.Timeout()
+	err = l.spec.Pipeline.ApplyBudget(ctx, l.env.CPU, s, budget)
+	switch {
+	case err == nil:
+		s.PreprocEnd = l.env.RT.Now()
+		l.profiler.Record(s.PreprocCost)
+		l.profiler.Classified(false)
+		l.mat.Complete(l.matTenant, mk, matEntry(s))
+		settled = true
+		return l.putFast(ctx, s)
+	case errors.Is(err, transform.ErrInterrupted):
+		s.MarkedSlow = true
+		l.profiler.Classified(true)
+		if l.cfg.RestartSlowFromScratch {
+			// Ablation: discard partial progress (see processNew). The claim
+			// follows the key, not the sample instance, so the reset copy
+			// still settles it in finishSlow.
+			s = l.env.Pool.CloneReset(s)
+			s.MarkedSlow = true
+		}
+		if perr := l.tempQ.Put(ctx, tempItem{s: s}); perr != nil {
+			return perr
+		}
+		settled = true // finishSlow settles the claim
+		return nil
+	default:
+		l.env.Pool.Put(s)
+		return err
+	}
+}
+
+// restoreHit delivers a cache hit: the sample skips the raw read and the
+// pipeline, paying only the restore of the materialized tensor. Hits bypass
+// the profiler — restore times are not preprocessing times and would drag
+// the classification timeout toward zero.
+func (l *Loader) restoreHit(ctx context.Context, s *data.Sample, e matcache.Entry) error {
+	now := l.env.RT.Now()
+	s.LoadedAt = now
+	s.PreprocStart = now
+	if restore := l.mat.RestoreCost(e.Bytes); restore > 0 {
+		if err := l.env.CPU.Run(ctx, restore); err != nil {
+			l.env.Pool.Put(s)
+			return err
+		}
+		s.PreprocCost = restore
+	}
+	s.Bytes = e.Bytes
+	s.NextTransform = l.spec.Pipeline.Len()
+	s.PreprocEnd = l.env.RT.Now()
+	return l.putFast(ctx, s)
+}
+
+// matEntry captures the materialized record of a finished sample: its
+// post-pipeline size and the preprocessing compute a future hit saves (the
+// sample's measured cost, including any budget-interrupt re-execution).
+// Only values are copied — the cache never retains the pooled sample.
+func matEntry(s *data.Sample) matcache.Entry {
+	return matcache.Entry{Bytes: s.Bytes, Cost: s.PreprocCost}
+}

@@ -15,6 +15,7 @@ import (
 	"github.com/minatoloader/minato/internal/device"
 	"github.com/minatoloader/minato/internal/dist"
 	"github.com/minatoloader/minato/internal/gpu"
+	"github.com/minatoloader/minato/internal/matcache"
 	"github.com/minatoloader/minato/internal/metrics"
 	"github.com/minatoloader/minato/internal/queue"
 	"github.com/minatoloader/minato/internal/simtime"
@@ -97,6 +98,12 @@ type Env struct {
 	// fairly across co-located loaders. A nil governor leaves the loader's
 	// own MaxWorkers as the only bound.
 	Gov WorkerGovernor
+	// Mat, when set, is the cluster's materialized preprocessed-sample
+	// cache: loaders that support it (MinatoLoader) check it before
+	// dispatching a sample to the pipeline and materialize their outputs
+	// into it, so repeat epochs and co-tenant sessions skip preprocessing
+	// entirely. Nil disables the warm path.
+	Mat *matcache.Cache
 }
 
 // ErrStopped is returned by Next when the loader was stopped before the
@@ -170,14 +177,23 @@ func (is *IndexSource) Start(ctx context.Context) {
 	})
 }
 
+// FillSample draws a pooled sample and fills its descriptor for an index
+// item, without paying the storage read — the front half of LoadSample,
+// used by cache fast paths that may skip the read entirely. The caller owns
+// the returned sample.
+func FillSample(env *Env, spec Spec, it IndexItem) *data.Sample {
+	s := env.Pool.Get()
+	dataset.Fill(spec.Dataset, it.Epoch, it.Index, s)
+	s.OriginalOrder = it.Seq
+	return s
+}
+
 // LoadSample materializes, reads, and stamps a sample for an index item.
 // The sample instance is drawn from the environment's pool; the caller owns
 // it and must hand it onward (into a batch) or release it back with
 // env.Pool.Put. On error no sample is retained.
 func LoadSample(ctx context.Context, env *Env, spec Spec, it IndexItem) (*data.Sample, error) {
-	s := env.Pool.Get()
-	dataset.Fill(spec.Dataset, it.Epoch, it.Index, s)
-	s.OriginalOrder = it.Seq
+	s := FillSample(env, spec, it)
 	if err := env.Store.ReadSample(ctx, env.RT, s); err != nil {
 		env.Pool.Put(s)
 		return nil, err

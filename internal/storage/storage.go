@@ -275,6 +275,44 @@ func (c *PageCache) pushFront(n *cacheNode) {
 	}
 }
 
+// ReserveCapacity permanently carves n bytes out of the cache's capacity
+// for a second cache layer sharing the same physical memory (the cluster's
+// materialized-sample cache), so total simulated memory stays constant and
+// the split is explicit rather than double-counted. Entries are evicted
+// from the LRU tail until the contents fit the reduced capacity. Returns
+// the bytes actually granted: min(n, current capacity), so a caller asking
+// for more than the pool holds can detect the shortfall and fail loudly.
+func (c *PageCache) ReserveCapacity(n int64) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n <= 0 {
+		return 0
+	}
+	if n > c.capacity {
+		n = c.capacity
+	}
+	c.capacity -= n
+	for c.used > c.capacity && c.tail != nil {
+		c.evictLocked(c.tail)
+	}
+	return n
+}
+
+// evictLocked removes a node from the cache, attributing the eviction to
+// the node's tenant.
+func (c *PageCache) evictLocked(n *cacheNode) {
+	c.unlink(n)
+	delete(c.index, n.key)
+	c.used -= n.bytes
+	c.evictions++
+	if vt := int(n.tenant); vt >= 0 && vt < len(c.tenants) {
+		c.tenants[vt].used -= n.bytes
+		c.tenants[vt].evictions++
+	}
+	*n = cacheNode{}
+	cacheNodePool.Put(n)
+}
+
 // Get reports whether key is cached, marking it most recently used.
 // Unattributed traffic; shared sessions use GetAs.
 func (c *PageCache) Get(key data.Key) bool { return c.GetAs(0, key) }
@@ -413,16 +451,7 @@ func (c *PageCache) putAsLocked(tenant int, key data.Key, bytes int64) {
 		if back == nil {
 			break
 		}
-		c.unlink(back)
-		delete(c.index, back.key)
-		c.used -= back.bytes
-		c.evictions++
-		if vt := int(back.tenant); vt >= 0 && vt < len(c.tenants) {
-			c.tenants[vt].used -= back.bytes
-			c.tenants[vt].evictions++
-		}
-		*back = cacheNode{}
-		cacheNodePool.Put(back)
+		c.evictLocked(back)
 	}
 	n := cacheNodePool.Get().(*cacheNode)
 	n.key, n.bytes, n.tenant = key, bytes, int32(tenant)

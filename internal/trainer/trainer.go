@@ -18,6 +18,7 @@ import (
 	"github.com/minatoloader/minato/internal/data"
 	"github.com/minatoloader/minato/internal/hardware"
 	"github.com/minatoloader/minato/internal/loader"
+	"github.com/minatoloader/minato/internal/matcache"
 	"github.com/minatoloader/minato/internal/metrics"
 	"github.com/minatoloader/minato/internal/report"
 	"github.com/minatoloader/minato/internal/simtime"
@@ -124,6 +125,10 @@ type Report struct {
 
 	CacheStats storage.CacheStats
 	DiskBytes  int64
+	// MatCacheStats snapshots the materialized preprocessed-sample cache
+	// (per-tenant on a shared substrate, whole-cache otherwise); zero when
+	// the cache is not enabled.
+	MatCacheStats matcache.Stats
 
 	// Trace holds per-sample timelines when Params.TraceSamples is set,
 	// in delivery order.
@@ -378,6 +383,13 @@ func RunEnv(env *loader.Env, disk *storage.Disk, cache *storage.PageCache, w wor
 	if comp != nil {
 		rep.SlowHist = comp.hist
 		rep.SlowPropByIt = comp.props
+	}
+	if env.Mat != nil {
+		if env.Store != nil && env.Store.Tenant > 0 {
+			rep.MatCacheStats = env.Mat.TenantStats(env.Store.Tenant)
+		} else {
+			rep.MatCacheStats = env.Mat.Stats()
+		}
 	}
 	if cache != nil && env.Store != nil && env.Store.Tenant > 0 {
 		// Shared-substrate session: attribute storage traffic to this

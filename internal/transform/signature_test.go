@@ -1,0 +1,134 @@
+package transform
+
+import (
+	"testing"
+	"time"
+
+	"github.com/minatoloader/minato/internal/data"
+)
+
+func namedT(name string) Transform {
+	return NewTransform(name, func(*data.Sample) time.Duration { return time.Millisecond }, nil)
+}
+
+// TestSignatureStableAcrossConstructions: two independently built pipelines
+// with the same transform names hash equal, regardless of pipeline name and
+// transform instance identity.
+func TestSignatureStableAcrossConstructions(t *testing.T) {
+	a := NewPipeline("a", namedT("Resize"), namedT("Flip"), namedT("Normalize"))
+	b := NewPipeline("b", namedT("Resize"), namedT("Flip"), namedT("Normalize"))
+	if a.Signature() != b.Signature() {
+		t.Fatalf("same transforms, different signatures: %x vs %x", a.Signature(), b.Signature())
+	}
+	if a.Signature() == 0 {
+		t.Fatal("signature should not be zero for a non-empty pipeline")
+	}
+}
+
+// TestSignatureReorderEquivalence: permutations within a barrier-delimited
+// section — the only reorderings Pecan's policies may produce — preserve the
+// signature.
+func TestSignatureReorderEquivalence(t *testing.T) {
+	base := NewPipeline("p", namedT("A"), namedT("B"), namedT("C"))
+	perm := base.Reordered([]Transform{base.Transforms()[2], base.Transforms()[0], base.Transforms()[1]})
+	if base.Signature() != perm.Signature() {
+		t.Fatalf("in-section permutation changed signature: %x vs %x", base.Signature(), perm.Signature())
+	}
+
+	// AutoOrder output of a real pipeline shares the source signature.
+	p := ObjectDetectionPipeline()
+	s := &data.Sample{Bytes: 400 << 10, RawBytes: 400 << 10}
+	ordered := p.Reordered(AutoOrder(p.Transforms(), s))
+	if p.Signature() != ordered.Signature() {
+		t.Fatalf("AutoOrder changed signature: %x vs %x", p.Signature(), ordered.Signature())
+	}
+
+	// And via the memoizing OrderCache, as the Pecan loader uses it.
+	var oc OrderCache
+	cached := oc.Reordered(p, s, AutoOrder)
+	if p.Signature() != cached.Signature() {
+		t.Fatalf("OrderCache.Reordered changed signature: %x vs %x", p.Signature(), cached.Signature())
+	}
+}
+
+// TestSignatureDistinguishesSemantics: different transform multisets,
+// different signatures.
+func TestSignatureDistinguishesSemantics(t *testing.T) {
+	base := NewPipeline("p", namedT("A"), namedT("B"), namedT("C"))
+	cases := map[string]*Pipeline{
+		"added transform":     NewPipeline("p", namedT("A"), namedT("B"), namedT("C"), namedT("D")),
+		"removed transform":   NewPipeline("p", namedT("A"), namedT("B")),
+		"renamed transform":   NewPipeline("p", namedT("A"), namedT("B"), namedT("X")),
+		"duplicated member":   NewPipeline("p", namedT("A"), namedT("A"), namedT("B"), namedT("C")),
+		"barrier inserted":    NewPipeline("p", namedT("A"), NewBarrier("Bar"), namedT("B"), namedT("C")),
+		"different workload":  ImageSegmentationPipeline(),
+		"different workload2": SpeechPipeline(3 * time.Second),
+	}
+	for name, p := range cases {
+		if p.Signature() == base.Signature() {
+			t.Errorf("%s: signature collided with base", name)
+		}
+	}
+}
+
+// TestSignatureBarrierSections: moving a transform across a barrier changes
+// the computation (the barrier orders side effects), so it must change the
+// signature — while permuting within either side must not.
+func TestSignatureBarrierSections(t *testing.T) {
+	a, b, c, d := namedT("A"), namedT("B"), namedT("C"), namedT("D")
+	bar := NewBarrier("Cast")
+
+	p1 := NewPipeline("p", a, b, bar, c, d)
+	p2 := NewPipeline("p", b, a, bar, d, c) // permuted within sections
+	p3 := NewPipeline("p", a, bar, b, c, d) // B crossed the barrier
+	if p1.Signature() != p2.Signature() {
+		t.Fatalf("within-section permutation changed signature across barrier layout")
+	}
+	if p1.Signature() == p3.Signature() {
+		t.Fatalf("cross-barrier move did not change signature")
+	}
+
+	// A barrier is not confused with a single-transform section of the same
+	// name.
+	pb := NewPipeline("p", NewBarrier("X"))
+	ps := NewPipeline("p", namedT("X"))
+	if pb.Signature() == ps.Signature() {
+		t.Fatal("barrier X collided with plain transform X")
+	}
+
+	// Barrier order matters.
+	q1 := NewPipeline("p", NewBarrier("X"), NewBarrier("Y"))
+	q2 := NewPipeline("p", NewBarrier("Y"), NewBarrier("X"))
+	if q1.Signature() == q2.Signature() {
+		t.Fatal("barrier order did not affect signature")
+	}
+}
+
+// TestSignatureGoldenValues pins the exported hash: committed caches and
+// cross-process consumers rely on signatures not drifting between releases.
+func TestSignatureGoldenValues(t *testing.T) {
+	if got := NewPipeline("empty").Signature(); got != 14695981039346656037 {
+		t.Errorf("empty pipeline signature drifted: %d", got)
+	}
+	// The paper pipelines' signatures, frozen. If an intentional pipeline
+	// change lands, update these constants in the same commit and call out
+	// that materialized caches are invalidated.
+	for name, want := range map[string]uint64{
+		"image-segmentation": ImageSegmentationPipeline().Signature(),
+		"object-detection":   ObjectDetectionPipeline().Signature(),
+	} {
+		again := map[string]func() *Pipeline{
+			"image-segmentation": ImageSegmentationPipeline,
+			"object-detection":   ObjectDetectionPipeline,
+		}[name]()
+		if again.Signature() != want {
+			t.Errorf("%s: signature not reproducible in-process", name)
+		}
+	}
+	// Speech-3s and Speech-10s run distinct HeavyStep costs behind one
+	// transform name, but identical structure: by the documented contract
+	// (identity = names), they share a signature.
+	if SpeechPipeline(3*time.Second).Signature() != SpeechPipeline(10*time.Second).Signature() {
+		t.Error("speech variants should share a signature under the name-identity contract")
+	}
+}

@@ -59,6 +59,7 @@ type Validator interface {
 type Pipeline struct {
 	name string
 	ts   []Transform
+	sig  uint64
 	// vals[i] is ts[i]'s Validator, nil when not implemented — resolved at
 	// construction to keep the execution loop free of type assertions.
 	vals []Validator
@@ -72,11 +73,70 @@ func NewPipeline(name string, ts ...Transform) *Pipeline {
 			vals[i] = v
 		}
 	}
-	return &Pipeline{name: name, ts: ts, vals: vals}
+	return &Pipeline{name: name, ts: ts, sig: signature(ts), vals: vals}
 }
 
 // Name returns the pipeline name.
 func (p *Pipeline) Name() string { return p.name }
+
+// Signature returns a stable hash identifying what the pipeline computes,
+// for keying caches of preprocessed outputs across sessions and tenants.
+//
+// Two pipelines share a signature exactly when they apply the same multiset
+// of transforms (identified by Name) within each barrier-delimited section,
+// with sections and barriers in the same order. Reorderings that the Pecan
+// policies may legally produce — permutations within a section — therefore
+// preserve the signature (Reordered and AutoOrder outputs hash equal to
+// their source pipeline), while adding, removing, or substituting a
+// transform, or moving one across a barrier, changes it. The pipeline name
+// is deliberately excluded: it labels, it does not compute.
+//
+// The hash is pure FNV-1a over transform names, commutatively summed within
+// a section and chained across sections, so it is stable across processes
+// and runs. Custom transforms must give semantically different steps
+// different names for signatures to distinguish them.
+func (p *Pipeline) Signature() uint64 { return p.sig }
+
+// signature implements the hash documented on Signature: per-section
+// commutative sums of each transform's FNV-1a name hash, mixed in section
+// order, with barrier transforms chained as section delimiters.
+func signature(ts []Transform) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	nameHash := func(s string) uint64 {
+		h := uint64(offset64)
+		for i := 0; i < len(s); i++ {
+			h = (h ^ uint64(s[i])) * prime64
+		}
+		return h
+	}
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for shift := 0; shift < 64; shift += 8 {
+			h = (h ^ (v >> shift & 0xff)) * prime64
+		}
+	}
+	var section uint64
+	open := false
+	for _, t := range ts {
+		if t.Barrier() {
+			if open {
+				mix(section)
+				section, open = 0, false
+			}
+			mix(nameHash(t.Name()) ^ 1) // tagged so a barrier never hashes like a 1-transform section
+			continue
+		}
+		section += nameHash(t.Name())
+		open = true
+	}
+	if open {
+		mix(section)
+	}
+	return h
+}
 
 // Transforms returns the transform list (not a copy; do not mutate).
 func (p *Pipeline) Transforms() []Transform { return p.ts }

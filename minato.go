@@ -86,6 +86,7 @@ import (
 	"github.com/minatoloader/minato/internal/hardware"
 	"github.com/minatoloader/minato/internal/loader"
 	"github.com/minatoloader/minato/internal/loaders"
+	"github.com/minatoloader/minato/internal/matcache"
 	"github.com/minatoloader/minato/internal/simtime"
 	"github.com/minatoloader/minato/internal/storage"
 	"github.com/minatoloader/minato/internal/trainer"
@@ -133,6 +134,10 @@ type (
 	// CacheStats is a snapshot of page-cache counters (whole-cache or
 	// per-tenant, depending on where it came from).
 	CacheStats = storage.CacheStats
+	// MatCacheStats is a snapshot of the materialized preprocessed-sample
+	// cache (see WithMaterializedCache): hits, fills, evictions, and the
+	// preprocessing time hits saved.
+	MatCacheStats = matcache.Stats
 	// PoolStats is a snapshot of sample-pool activity.
 	PoolStats = data.PoolStats
 	// Testbed is an instantiated simulated machine.

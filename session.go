@@ -36,6 +36,7 @@ type sessionOptions struct {
 	weight      float64
 	prioritySet bool
 	topo        *Topology
+	matBytes    int64
 }
 
 // Option configures a session: Open and Cluster.Open, or a training run
@@ -147,6 +148,27 @@ func WithRuntime(rt Runtime) SharedOption {
 	}
 }
 
+// WithMaterializedCache enables the materialized preprocessed-sample cache
+// with the given byte capacity: epoch 1 materializes every preprocessed
+// sample, epoch 2+ — and co-tenant sessions of the same cluster — hit the
+// cache and skip preprocessing entirely ("warm epochs"; see DESIGN.md's
+// cache hierarchy). The capacity is carved out of the page cache's, so the
+// machine's total simulated memory stays constant; asking for more than the
+// page cache holds is a *ConfigError. Entries are keyed by (sample key,
+// pipeline signature) and evicted cost-aware — least preprocessing-seconds
+// saved per byte first. The cache serves the MinatoLoader backend; baseline
+// loaders ignore it.
+//
+// Like the other substrate options it is cluster-owned: pass it to
+// NewCluster (or a standalone Open/Train, which configures the implicit
+// cluster); sessions of an explicit cluster cannot carry it.
+func WithMaterializedCache(bytes int64) SharedOption {
+	return sharedOption{
+		session: func(o *sessionOptions) { o.matBytes = bytes },
+		cluster: func(o *clusterOptions) { o.matBytes = bytes },
+	}
+}
+
 // WithIterations bounds the session to n delivered batches, wrapping
 // epochs as needed. It takes precedence over WithEpochs.
 func WithIterations(n int) Option {
@@ -215,6 +237,9 @@ func (o *sessionOptions) validate() error {
 	if o.prioritySet && o.weight <= 0 {
 		return configErr("WithPriority", fmt.Sprintf("weight %g must be positive", o.weight))
 	}
+	if o.matBytes < 0 {
+		return configErr("WithMaterializedCache", fmt.Sprintf("capacity %d < 0", o.matBytes))
+	}
 	if o.hw != nil && o.env != nil {
 		return configErr("WithHardware/WithEnv", "mutually exclusive")
 	}
@@ -241,6 +266,8 @@ func (o *sessionOptions) rejectClusterOwned() error {
 		return configErr("WithEnv", "cluster-owned: size the environment on NewCluster")
 	case o.rt != nil:
 		return configErr("WithRuntime", "cluster-owned: the runtime belongs to NewCluster")
+	case o.matBytes != 0:
+		return configErr("WithMaterializedCache", "cluster-owned: enable the cache on NewCluster")
 	}
 	return o.rejectTopology()
 }
@@ -327,6 +354,7 @@ type Session struct {
 // sessionFinal is the storage attribution frozen at first Close.
 type sessionFinal struct {
 	cache CacheStats
+	mat   MatCacheStats
 	disk  int64
 }
 
@@ -357,11 +385,11 @@ func Open(dataset Dataset, opts ...Option) (*Session, error) {
 	if err := o.rejectTopology(); err != nil {
 		return nil, err
 	}
-	cl, err := newCluster(&clusterOptions{hw: o.hw, env: o.env, gpus: o.gpus, rt: o.rt})
+	cl, err := newCluster(&clusterOptions{hw: o.hw, env: o.env, gpus: o.gpus, rt: o.rt, matBytes: o.matBytes})
 	if err != nil {
 		return nil, err
 	}
-	o.hw, o.env, o.rt, o.gpus = nil, nil, nil, 0
+	o.hw, o.env, o.rt, o.gpus, o.matBytes = nil, nil, nil, 0, 0
 	sess, err := cl.open(dataset, o, true)
 	if err != nil {
 		_ = cl.Close()
@@ -511,8 +539,14 @@ func (s *Session) Stats() SessionStats {
 	}
 	if fin := s.final.Load(); fin != nil {
 		st.Cache = fin.cache
-	} else if s.cl.cache != nil {
-		st.Cache = s.cl.cache.TenantStats(s.cacheTenant)
+		st.MatCache = fin.mat
+	} else {
+		if s.cl.cache != nil {
+			st.Cache = s.cl.cache.TenantStats(s.cacheTenant)
+		}
+		if s.cl.mat != nil {
+			st.MatCache = s.cl.mat.TenantStats(s.cacheTenant)
+		}
 	}
 	return st
 }
@@ -559,11 +593,15 @@ func (s *Session) Close() (*Report, error) {
 		} else if s.cl.disk != nil {
 			fin.disk = s.cl.disk.BytesRead()
 		}
+		if s.cl.mat != nil {
+			fin.mat = s.cl.mat.TenantStats(s.cacheTenant)
+		}
 		s.final.Store(fin)
 		s.cl.releaseSession(s)
 	}
 	if fin := s.final.Load(); fin != nil {
 		rep.CacheStats = fin.cache
+		rep.MatCacheStats = fin.mat
 		rep.DiskBytes = fin.disk
 	}
 	if s.ownsCluster {
@@ -619,11 +657,11 @@ func trainOpts(w Workload, o *sessionOptions) (*Report, error) {
 	if o.hw != nil {
 		hw = *o.hw
 	}
-	cl, err := newCluster(&clusterOptions{hw: &hw, gpus: o.gpus})
+	cl, err := newCluster(&clusterOptions{hw: &hw, gpus: o.gpus, matBytes: o.matBytes})
 	if err != nil {
 		return nil, err
 	}
 	defer cl.Close()
-	o.hw, o.gpus = nil, 0
+	o.hw, o.gpus, o.matBytes = nil, 0, 0
 	return cl.train(w, o)
 }
