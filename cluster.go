@@ -180,11 +180,15 @@ func newCluster(co *clusterOptions) (*Cluster, error) {
 		}
 		// The materialized layer shares the machine's memory with the page
 		// cache: carve its capacity out explicitly so the two layers never
-		// double-count the same simulated bytes.
-		if granted := c.cache.ReserveCapacity(co.matBytes); granted < co.matBytes {
+		// double-count the same simulated bytes. Validate before reserving —
+		// ReserveCapacity is a permanent, evicting shrink, and a failed
+		// construction must not leave a caller-supplied testbed's page cache
+		// mutilated.
+		if pageCap := c.cache.Capacity(); co.matBytes > pageCap {
 			return nil, configErr("WithMaterializedCache",
-				fmt.Sprintf("capacity %d exceeds the page cache's %d", co.matBytes, granted))
+				fmt.Sprintf("capacity %d exceeds the page cache's %d", co.matBytes, pageCap))
 		}
+		c.cache.ReserveCapacity(co.matBytes)
 		c.mat = matcache.New(co.matBytes)
 	}
 	c.shares = loader.NewFairShare(int(c.cpu.Capacity()))

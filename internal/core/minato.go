@@ -692,6 +692,23 @@ func (l *Loader) Stop() {
 		l.fastQ.Close()
 		l.slowQ.Close()
 		l.tempQ.Close()
+		// Each parked slow sample carries an unsettled matcache leader claim
+		// (leadFill defers settlement to finishSlow). No worker will resume
+		// them now, so drain the queue and abort the claims — otherwise the
+		// keys stay inflight in the cluster-shared cache and co-tenant or
+		// later sessions park forever on a fill that will never complete. A
+		// racing worker that wins an item instead settles it through
+		// finishSlow's own Complete/Abort paths.
+		for {
+			item, ok, _ := l.tempQ.TryGet()
+			if !ok {
+				break
+			}
+			if l.mat != nil {
+				l.mat.Abort(matcache.Key{Obj: item.s.Key, Sig: l.matSig})
+			}
+			l.env.Pool.Put(item.s)
+		}
 		for _, q := range l.batchQs {
 			q.Close()
 		}

@@ -31,6 +31,7 @@ package matcache
 
 import (
 	"encoding/binary"
+	"sort"
 	"sync"
 	"time"
 
@@ -120,6 +121,18 @@ type Cache struct {
 	// inflight single-flights fills, exactly like the page cache's fetch
 	// protocol: the leader materializes while followers park on waiters.
 	inflight map[Key][]*simtime.Waiter
+
+	// handoff holds completed entries too large to retain, reserved for the
+	// followers parked on the fill that produced them: each woken follower
+	// redeems one reference on its re-check, so single-flight holds even for
+	// permanently-uncacheable keys instead of degenerating to one serial
+	// re-fill per follower.
+	handoff map[Key]*handoffEntry
+}
+
+type handoffEntry struct {
+	e    Entry
+	refs int
 }
 
 // New returns a cache with the given capacity in simulated tensor bytes and
@@ -182,13 +195,16 @@ func (c *Cache) GetOrBegin(tenant int, key Key, rt simtime.Runtime) (Entry, bool
 	defer c.mu.Unlock()
 	if slot, ok := c.index[key]; ok {
 		e := c.decode(slot)
-		c.hits++
-		c.savedNs += int64(e.Cost)
-		if tenant >= 0 && tenant < len(c.tenants) {
-			c.tenants[tenant].hits++
-			c.tenants[tenant].savedNs += int64(e.Cost)
-		}
+		c.hitLocked(tenant, e)
 		return e, true, nil
+	}
+	if h, ok := c.handoff[key]; ok {
+		h.refs--
+		if h.refs <= 0 {
+			delete(c.handoff, key)
+		}
+		c.hitLocked(tenant, h.e)
+		return h.e, true, nil
 	}
 	if ws, ok := c.inflight[key]; ok {
 		w := rt.NewWaiter()
@@ -206,6 +222,16 @@ func (c *Cache) GetOrBegin(tenant int, key Key, rt simtime.Runtime) (Entry, bool
 	return Entry{}, false, nil
 }
 
+// hitLocked attributes one hit and the preprocessing time it saved.
+func (c *Cache) hitLocked(tenant int, e Entry) {
+	c.hits++
+	c.savedNs += int64(e.Cost)
+	if tenant >= 0 && tenant < len(c.tenants) {
+		c.tenants[tenant].hits++
+		c.tenants[tenant].savedNs += int64(e.Cost)
+	}
+}
+
 // Peek reports whether key is materialized, without counting a hit or
 // touching single-flight state.
 func (c *Cache) Peek(key Key) (Entry, bool) {
@@ -220,7 +246,10 @@ func (c *Cache) Peek(key Key) (Entry, bool) {
 
 // Complete publishes a leader's materialized entry and releases the key's
 // followers. The fill is attributed to the leader's tenant. Entries larger
-// than the whole cache are published to followers but not retained.
+// than the whole cache are not retained, but the key's parked followers
+// still receive the completed entry as a hit on their re-check (via a
+// per-follower handoff reservation), so such keys are filled once per
+// co-arriving cohort, not once per follower.
 func (c *Cache) Complete(tenant int, key Key, e Entry) {
 	c.mu.Lock()
 	c.fills++
@@ -230,6 +259,12 @@ func (c *Cache) Complete(tenant int, key Key, e Entry) {
 	c.insertLocked(tenant, key, e)
 	ws := c.inflight[key]
 	delete(c.inflight, key)
+	if _, retained := c.index[key]; !retained && len(ws) > 0 {
+		if c.handoff == nil {
+			c.handoff = make(map[Key]*handoffEntry)
+		}
+		c.handoff[key] = &handoffEntry{e: e, refs: len(ws)}
+	}
 	c.mu.Unlock()
 	for _, w := range ws {
 		w.Wake()
@@ -264,6 +299,11 @@ func (c *Cache) Invalidate(sig uint64) int {
 		c.removeLocked(key, slot, false)
 		n++
 	}
+	for key := range c.handoff {
+		if key.Sig == sig {
+			delete(c.handoff, key)
+		}
+	}
 	c.invalidations += int64(n)
 	return n
 }
@@ -271,10 +311,11 @@ func (c *Cache) Invalidate(sig uint64) int {
 // Recycle empties the cache and returns its region chunks to the
 // process-wide pool. Owned by whoever owns the cache's lifetime (a Cluster),
 // never an individual session. Traffic counters survive; residency is
-// zeroed with the contents.
+// zeroed with the contents. Single-flight claims orphaned by sessions that
+// died without settling are cleared too, their waiters woken so nobody
+// parks forever on a fill that will never complete.
 func (c *Cache) Recycle() {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	for _, ch := range c.chunks {
 		*ch = chunk{}
 		chunkPool.Put(ch)
@@ -287,6 +328,32 @@ func (c *Cache) Recycle() {
 		c.tenants[i].used = 0
 	}
 	clear(c.index)
+	clear(c.handoff)
+	// Wake abandoned followers in key order so recycling stays deterministic
+	// even with claims outstanding.
+	keys := make([]Key, 0, len(c.inflight))
+	for key := range c.inflight {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Obj.Space != b.Obj.Space {
+			return a.Obj.Space < b.Obj.Space
+		}
+		if a.Obj.Index != b.Obj.Index {
+			return a.Obj.Index < b.Obj.Index
+		}
+		return a.Sig < b.Sig
+	})
+	var wake []*simtime.Waiter
+	for _, key := range keys {
+		wake = append(wake, c.inflight[key]...)
+	}
+	clear(c.inflight)
+	c.mu.Unlock()
+	for _, w := range wake {
+		w.Wake()
+	}
 }
 
 // Stats is a snapshot of materialized-cache counters (whole-cache or
@@ -368,13 +435,15 @@ func (c *Cache) insertLocked(tenant int, key Key, e Entry) {
 	binary.LittleEndian.PutUint64(ch.buf[i*recordSize:], uint64(e.Bytes))
 	binary.LittleEndian.PutUint64(ch.buf[i*recordSize+8:], uint64(e.Cost))
 	c.seq++
+	// Out-of-range ids (a fill completing after tenant-slot churn) carry no
+	// attribution: -1 keeps the bytes out of some other tenant's counters.
 	if tenant < 0 || tenant >= len(c.tenants) {
-		tenant = 0
+		tenant = -1
 	}
 	ch.meta[i] = slotMeta{key: key, seq: c.seq, tenant: int32(tenant), live: true}
 	c.index[key] = slot
 	c.used += e.Bytes
-	if len(c.tenants) > 0 {
+	if tenant >= 0 {
 		c.tenants[tenant].used += e.Bytes
 	}
 	density := float64(e.Cost)

@@ -461,3 +461,130 @@ func TestSlotReuse(t *testing.T) {
 		}
 	}
 }
+
+// An entry too large to retain is still handed to the fill's parked
+// followers: each woken follower redeems exactly one hit from the handoff,
+// so single-flight holds for permanently-uncacheable keys instead of
+// degenerating to one serial re-fill per follower.
+func TestUncacheableEntryHandedToFollowers(t *testing.T) {
+	rt := simtime.NewVirtual()
+	c := New(1000)
+	k := key(1, 1)
+	const followers = 3
+	var hits, refills atomic.Int64
+	rt.Run(func() {
+		if _, hit, w := c.GetOrBegin(-1, k, rt); hit || w != nil {
+			t.Error("expected leadership")
+			return
+		}
+		for i := 0; i < followers; i++ {
+			rt.Go("follower", func() {
+				for {
+					e, hit, w := c.GetOrBegin(-1, k, rt)
+					if hit {
+						if e.Bytes != 2000 || e.Cost != time.Second {
+							t.Errorf("follower entry = %+v, want {2000 1s}", e)
+						}
+						hits.Add(1)
+						return
+					}
+					if w == nil {
+						refills.Add(1)
+						c.Complete(-1, k, Entry{Bytes: 2000, Cost: time.Second})
+						return
+					}
+					if err := w.Wait(context.Background()); err != nil {
+						t.Errorf("wait: %v", err)
+						return
+					}
+				}
+			})
+		}
+		// Let every follower park, then publish an entry bigger than the
+		// whole cache.
+		if err := rt.Sleep(context.Background(), time.Millisecond); err != nil {
+			t.Errorf("sleep: %v", err)
+		}
+		c.Complete(-1, k, Entry{Bytes: 2000, Cost: time.Second})
+	})
+	rt.Drain()
+	if refills.Load() != 0 {
+		t.Fatalf("%d followers re-ran the fill, want 0", refills.Load())
+	}
+	if hits.Load() != followers {
+		t.Fatalf("follower hits = %d, want %d", hits.Load(), followers)
+	}
+	if _, ok := c.Peek(k); ok {
+		t.Fatal("uncacheable entry was retained")
+	}
+	// The handoff is consumed with its followers: a later caller is a plain
+	// miss electing a new leader, not a phantom hit.
+	if _, hit, w := c.GetOrBegin(-1, k, rt); hit || w != nil {
+		t.Fatal("later caller should miss once the handoff is redeemed")
+	}
+	c.Abort(k)
+}
+
+// Recycle clears single-flight claims orphaned by a leader that died
+// without settling, waking their waiters so followers re-elect instead of
+// parking forever on a dead fill.
+func TestRecycleClearsInflightClaims(t *testing.T) {
+	rt := simtime.NewVirtual()
+	c := New(1 << 20)
+	k := key(1, 1)
+	var refilled atomic.Bool
+	rt.Run(func() {
+		// An orphaned leader claim: taken, never settled.
+		if _, hit, w := c.GetOrBegin(-1, k, rt); hit || w != nil {
+			t.Error("expected leadership")
+			return
+		}
+		rt.Go("follower", func() {
+			for {
+				_, hit, w := c.GetOrBegin(-1, k, rt)
+				if hit {
+					return
+				}
+				if w == nil {
+					refilled.Store(true)
+					c.Complete(-1, k, Entry{Bytes: 1, Cost: time.Microsecond})
+					return
+				}
+				if err := w.Wait(context.Background()); err != nil {
+					t.Errorf("wait: %v", err)
+					return
+				}
+			}
+		})
+		if err := rt.Sleep(context.Background(), time.Millisecond); err != nil {
+			t.Errorf("sleep: %v", err)
+		}
+		c.Recycle()
+	})
+	rt.Drain()
+	if !refilled.Load() {
+		t.Fatal("follower was not re-elected after Recycle cleared the claim")
+	}
+}
+
+// A fill completing with an out-of-range tenant id (tenant-slot churn
+// between claim and completion) carries no attribution instead of crediting
+// tenant 0 with a stranger's bytes.
+func TestOutOfRangeTenantNotFoldedIntoTenantZero(t *testing.T) {
+	c := New(1 << 20)
+	c.JoinTenant(0)
+	c.Complete(99, key(1, 1), Entry{Bytes: 500, Cost: time.Millisecond})
+	if st := c.TenantStats(0); st.Used != 0 || st.Fills != 0 {
+		t.Fatalf("tenant 0 credited with an out-of-range fill: %+v", st)
+	}
+	if st := c.Stats(); st.Used != 500 || st.Fills != 1 {
+		t.Fatalf("whole-cache stats = %+v", st)
+	}
+	// Removing the unattributed entry leaves tenant counters untouched too.
+	if n := c.Invalidate(1); n != 1 {
+		t.Fatalf("invalidated %d entries, want 1", n)
+	}
+	if st := c.TenantStats(0); st.Used != 0 || st.Evictions != 0 {
+		t.Fatalf("tenant 0 charged for an unattributed removal: %+v", st)
+	}
+}

@@ -59,3 +59,16 @@ func TestReserveCapacityIgnoresNonPositive(t *testing.T) {
 		t.Fatalf("capacity = %d, want untouched 100", got)
 	}
 }
+
+// Capacity exposes the current (post-carve) capacity so callers can
+// validate a reservation before committing to the evicting shrink.
+func TestCapacityAccessor(t *testing.T) {
+	c := NewPageCache(100)
+	if got := c.Capacity(); got != 100 {
+		t.Fatalf("capacity = %d, want 100", got)
+	}
+	c.ReserveCapacity(30)
+	if got := c.Capacity(); got != 70 {
+		t.Fatalf("capacity after reserve = %d, want 70", got)
+	}
+}

@@ -275,6 +275,15 @@ func (c *PageCache) pushFront(n *cacheNode) {
 	}
 }
 
+// Capacity returns the cache's current capacity in bytes, net of any
+// ReserveCapacity carve-outs. Callers reserving for a second layer check it
+// first so a too-large request can fail before shrinking the cache.
+func (c *PageCache) Capacity() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.capacity
+}
+
 // ReserveCapacity permanently carves n bytes out of the cache's capacity
 // for a second cache layer sharing the same physical memory (the cluster's
 // materialized-sample cache), so total simulated memory stays constant and
