@@ -91,6 +91,47 @@ func BenchmarkMultiNode(b *testing.B) {
 	}
 }
 
+// BenchmarkChurn is the fault-injection tier: an 8-node cluster under three
+// regimes — balanced (no chaos, the SLO floor), flash-crowd (a worker stall
+// plus a disk brownout striking mid-run), and crash-recover (node 3 crashes
+// at t=5s and rejoins at t=8s). Reported metrics: tail step time in
+// simulated milliseconds (p99_step_ms) and measured fault recovery
+// (recovery_ms) — both must stay bit-stable run to run.
+func BenchmarkChurn(b *testing.B) {
+	const batchesPerNode = 15
+	scripts := []struct {
+		name   string
+		script ChaosScript
+	}{
+		{"balanced", ChaosScript{}},
+		{"flash-crowd", ComposeChaos("flash-crowd",
+			StallWorkers(0, 5*time.Second, 2, 5*time.Second),
+			BrownoutDisk(5*time.Second, 8, 10*time.Second),
+		)},
+		{"crash-recover", CrashNode(3, 5*time.Second, 8*time.Second)},
+	}
+	for _, sc := range scripts {
+		b.Run(sc.name, func(b *testing.B) {
+			w := workload.Speech(1, 3*time.Second).WithIterations(batchesPerNode)
+			opts := []Option{WithNodes(8), WithGPUs(1)}
+			if len(sc.script.Events) > 0 {
+				opts = append(opts, WithChaos(sc.script))
+			}
+			var rep *MultiNodeReport
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var err error
+				rep, err = TrainMultiNodeWorkload(w, opts...)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(rep.StepP99.Seconds()*1000, "p99_step_ms")
+			b.ReportMetric(rep.RecoveryTime().Seconds()*1000, "recovery_ms")
+		})
+	}
+}
+
 func BenchmarkAblationTimeout(b *testing.B) { benchExperiment(b, "abl-timeout") }
 func BenchmarkAblationWorkers(b *testing.B) { benchExperiment(b, "abl-workers") }
 func BenchmarkAblationResume(b *testing.B)  { benchExperiment(b, "abl-resume") }

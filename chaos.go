@@ -1,0 +1,174 @@
+package minato
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/minatoloader/minato/internal/chaos"
+)
+
+// Chaos engineering. A ChaosScript is a deterministic schedule of faults —
+// node crashes and rejoins, NIC degradation, disk brownouts, CPU worker
+// stalls, session preemption — replayed against a training session or
+// multi-node job on the virtual clock. Because the clock is discrete-event
+// and the script is static data, an identical script against an identical
+// run reproduces the report bit-for-bit: recovery times and p99 step times
+// are assertable, not flaky.
+//
+// Attach a script with WithChaos (or a registered scenario by name with
+// WithChaosScenario) to Train, TrainWorkload, Cluster.Train, TrainMultiNode,
+// Open, or Cluster.Open:
+//
+//	rep, err := minato.TrainMultiNode("speech-3s",
+//	    minato.WithNodes(8),
+//	    minato.WithChaos(minato.CrashNode(3, 5*time.Second, 8*time.Second)),
+//	)
+//	// rep.RecoveryTime(), rep.StepP99, rep.Faults, rep.PerNode[3].Downtime
+//
+// Single-machine sessions accept disk, worker-stall, and preempt/resume
+// events; multi-node jobs accept node, link, disk, and worker-stall events.
+// Scripts are validated against the run shape at configuration time, so a
+// mismatched script is a *ConfigError, not a silent no-op.
+
+type (
+	// ChaosScript is a named, composable fault schedule; the zero value
+	// injects nothing. Build one from events directly, from the builders
+	// (CrashNode, FlapLink, BrownoutDisk, StallWorkers, PreemptFor), or by
+	// ComposeChaos.
+	ChaosScript = chaos.Script
+	// ChaosEvent is one scripted fault.
+	ChaosEvent = chaos.Event
+	// ChaosKind enumerates fault-event types (ChaosNodeCrash ... ChaosResume).
+	ChaosKind = chaos.Kind
+	// FaultStat is one applied fault window in a Report or MultiNodeReport:
+	// when it took effect, when it cleared, the measured recovery time, and
+	// the stall attributed to it.
+	FaultStat = chaos.FaultStat
+)
+
+// The fault kinds. See the chaos package for exact semantics; the short
+// version: membership events (crash/join) apply at step boundaries of a
+// multi-node job, everything else at exactly Event.At.
+const (
+	ChaosNodeCrash   = chaos.NodeCrash
+	ChaosNodeJoin    = chaos.NodeJoin
+	ChaosLinkDegrade = chaos.LinkDegrade
+	ChaosLinkRestore = chaos.LinkRestore
+	ChaosDiskDegrade = chaos.DiskDegrade
+	ChaosDiskRestore = chaos.DiskRestore
+	ChaosWorkerStall = chaos.WorkerStall
+	ChaosPreempt     = chaos.Preempt
+	ChaosResume      = chaos.Resume
+)
+
+// Builders for the common one-fault scripts; compose them with ComposeChaos.
+
+// CrashNode crashes node at `at` and rejoins it at `rejoin` (rejoin ≤ at
+// means the node never returns). TrainMultiNode only.
+func CrashNode(node int, at, rejoin time.Duration) ChaosScript {
+	return chaos.CrashNode(node, at, rejoin)
+}
+
+// FlapLink degrades node's NIC bandwidth by factor at `at` and restores it
+// after duration. TrainMultiNode only.
+func FlapLink(node int, at time.Duration, factor float64, duration time.Duration) ChaosScript {
+	return chaos.FlapLink(node, at, factor, duration)
+}
+
+// BrownoutDisk slows storage reads by factor at `at` and restores them
+// after duration — the shared-filesystem brownout.
+func BrownoutDisk(at time.Duration, factor float64, duration time.Duration) ChaosScript {
+	return chaos.BrownoutDisk(at, factor, duration)
+}
+
+// StallWorkers occupies ~factor× of node's CPU cores with hog work for
+// duration, starting at `at` — a co-located job stealing preprocessing
+// cores. Single-machine sessions use node 0.
+func StallWorkers(node int, at time.Duration, factor float64, duration time.Duration) ChaosScript {
+	return chaos.StallWorkers(node, at, factor, duration)
+}
+
+// PreemptFor pauses the session's consumers at `at` and resumes them after
+// duration; a zero duration preempts permanently and the session ends with
+// ErrPreempted (checkpoint it and Resume to continue warm). Single-machine
+// sessions only.
+func PreemptFor(at, duration time.Duration) ChaosScript {
+	return chaos.PreemptFor(at, duration)
+}
+
+// ComposeChaos merges scripts into one named schedule; overlapping times
+// keep argument order.
+func ComposeChaos(name string, scripts ...ChaosScript) ChaosScript {
+	return chaos.Compose(name, scripts...)
+}
+
+// ShiftChaos returns a copy of s with every event delayed by d — for
+// staggering one scenario across tenants or runs.
+func ShiftChaos(s ChaosScript, d time.Duration) ChaosScript {
+	return chaos.Shift(s, d)
+}
+
+// RegisterChaosScenario adds (or replaces) a named scenario builder, the
+// way RegisterLoader and RegisterWorkload extend their registries. Built-in
+// scenarios: node-crash, link-flap, disk-brownout, worker-stall,
+// preempt-resume, churn-storm.
+func RegisterChaosScenario(name string, build func() ChaosScript) {
+	chaos.Register(name, build)
+}
+
+// ChaosScenarioByName builds a registered scenario.
+func ChaosScenarioByName(name string) (ChaosScript, bool) {
+	return chaos.ByName(name)
+}
+
+// ChaosScenarios lists the registered scenario names, sorted.
+func ChaosScenarios() []string {
+	return chaos.Names()
+}
+
+// WithChaos injects the given fault script into the session or multi-node
+// job. The script is validated against the run shape: single-machine entry
+// points (Open, Train, Cluster.Open, Cluster.Train) accept disk,
+// worker-stall, and preempt/resume events; TrainMultiNode accepts node,
+// link, disk, and worker-stall events. Identical scripts against identical
+// runs reproduce reports bit-for-bit.
+func WithChaos(s ChaosScript) Option {
+	return sessionOption(func(o *sessionOptions) { sc := s; o.chaos = &sc })
+}
+
+// WithChaosScenario injects a registered fault scenario by name — the
+// one-line form of WithChaos for scripts in the scenario registry
+// (RegisterChaosScenario).
+func WithChaosScenario(name string) Option {
+	return sessionOption(func(o *sessionOptions) { o.chaosName = name })
+}
+
+// resolveChaos resolves the chaos options into a validated script for a
+// run shape: nodes > 0 is a multi-node job with that many ranks, nodes == 0
+// a single-machine session. The zero script passes through untouched.
+func (o *sessionOptions) resolveChaos(nodes int) (chaos.Script, error) {
+	if o.chaos != nil && o.chaosName != "" {
+		return chaos.Script{}, configErr("WithChaos/WithChaosScenario", "mutually exclusive")
+	}
+	var s chaos.Script
+	opt := "WithChaos"
+	switch {
+	case o.chaos != nil:
+		s = *o.chaos
+	case o.chaosName != "":
+		opt = "WithChaosScenario"
+		var ok bool
+		s, ok = chaos.ByName(o.chaosName)
+		if !ok {
+			return chaos.Script{}, configErr(opt, fmt.Sprintf("unknown scenario %q (registered: %s)",
+				o.chaosName, strings.Join(chaos.Names(), ", ")))
+		}
+	default:
+		return chaos.Script{}, nil
+	}
+	if err := s.Validate(nodes); err != nil {
+		return chaos.Script{}, configErr(opt, err.Error())
+	}
+	return s, nil
+}

@@ -1,0 +1,202 @@
+package minato
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Checkpoint is a restartable snapshot of a session's progress: how many
+// batches it has delivered (and therefore the exact epoch, step, and shuffle
+// position), plus everything needed to rebuild the stream — dataset,
+// pipeline, loader, budget, seed. The snapshot pins the cluster it was taken
+// on, so the page cache and the materialized preprocessed-sample cache stay
+// warm across the restore; a resumed session picks up against caches its
+// predecessor already filled.
+//
+//	sess, _ := minato.Open(ds, minato.WithChaos(minato.PreemptFor(2*time.Second, 0)))
+//	for b, err := range sess.Batches(ctx) {
+//	    if errors.Is(err, minato.ErrPreempted) { break }
+//	    ...
+//	}
+//	ck, _ := sess.Checkpoint()
+//	sess.Close()
+//	resumed, _ := minato.Resume(ck)       // continues at the exact next batch
+//	for b, err := range resumed.Batches(ctx) { ... }
+//	rep, _ := resumed.Close()             // rep.RecoveryTime() > 0
+//
+// A checkpoint is single-use: Resume consumes it, and Close discards an
+// unconsumed one (releasing the cluster if the checkpoint owns it). Because
+// the index stream is a pure function of (seed, epoch), the restore is
+// exact — the resumed session delivers precisely the draws the original
+// never did, in the original shuffle order, and the two sessions' batch
+// counts always sum to the original budget.
+type Checkpoint struct {
+	mu       sync.Mutex
+	consumed bool
+
+	cl   *Cluster
+	owns bool
+
+	dataset Dataset
+	factory Factory
+	// spec is the original session spec with Skip advanced to the absolute
+	// number of batches delivered so far — the whole restore state.
+	spec    Spec
+	retain  bool
+	weight  float64
+	gpus    int
+	takenAt time.Duration
+}
+
+// Checkpoint snapshots the session's restartable progress. Take it after the
+// Batches stream has ended — a terminal preemption (ErrPreempted), a break,
+// or natural completion — and before Close. Taking a checkpoint transfers
+// ownership of an implicit (standalone-Open) cluster from the session to the
+// checkpoint, so Close tears down the session's tenancy but leaves the warm
+// caches alive for Resume.
+func (s *Session) Checkpoint() (*Checkpoint, error) {
+	if s.cl.isClosed() {
+		return nil, ErrClusterClosed
+	}
+	ck := &Checkpoint{
+		cl:      s.cl,
+		owns:    s.ownsCluster,
+		dataset: s.spec.Dataset,
+		factory: s.factory,
+		spec:    s.spec,
+		retain:  s.retain,
+		weight:  s.weight,
+		gpus:    len(s.gpuIdxs),
+		takenAt: s.rt.Now(),
+	}
+	ck.spec.Skip = s.spec.Skip + int(s.batches.Load())
+	// The checkpoint now keeps the substrate alive, not the session.
+	s.ownsCluster = false
+	return ck, nil
+}
+
+// TakenAt returns the virtual time the checkpoint was taken.
+func (ck *Checkpoint) TakenAt() time.Duration { return ck.takenAt }
+
+// Batches returns the absolute number of batches delivered up to the
+// checkpoint, counted from the very first session (resumes compound).
+func (ck *Checkpoint) Batches() int { return ck.spec.Skip }
+
+// Epoch returns the epoch the next delivered batch belongs to.
+func (ck *Checkpoint) Epoch() int { return ck.spec.Skip / ck.spec.BatchesPerEpoch() }
+
+// Step returns the next batch's step index within its epoch.
+func (ck *Checkpoint) Step() int { return ck.spec.Skip % ck.spec.BatchesPerEpoch() }
+
+// Remaining returns how many batches of the original budget are still
+// undelivered — what a resumed session will stream.
+func (ck *Checkpoint) Remaining() int { return ck.spec.TotalBatches() }
+
+// Cache snapshots the pinned cluster's page cache — the warm state a
+// resumed session inherits.
+func (ck *Checkpoint) Cache() CacheStats {
+	if ck.cl.cache == nil {
+		return CacheStats{}
+	}
+	return ck.cl.cache.Stats()
+}
+
+// MatCache snapshots the pinned cluster's materialized preprocessed-sample
+// cache (zero when WithMaterializedCache is not enabled).
+func (ck *Checkpoint) MatCache() MatCacheStats {
+	if ck.cl.mat == nil {
+		return MatCacheStats{}
+	}
+	return ck.cl.mat.Stats()
+}
+
+// Close discards an unconsumed checkpoint, closing the cluster it owns (the
+// implicit cluster of a standalone Open). Idempotent; a no-op after Resume,
+// which takes the ownership over.
+func (ck *Checkpoint) Close() error {
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	if ck.consumed {
+		return nil
+	}
+	ck.consumed = true
+	if ck.owns {
+		return ck.cl.Close()
+	}
+	return nil
+}
+
+// Resume restores a checkpointed session on the checkpoint's still-warm
+// cluster: the new session fast-forwards the index stream to the exact next
+// batch — same epoch numbering, same shuffle order — and delivers the
+// remaining budget. Its Report records the restore as a resume fault window,
+// so RecoveryTime() measures checkpoint recovery the same way it measures
+// in-run fault recovery.
+//
+// The stream identity is pinned by the checkpoint: options that would change
+// what is delivered (WithPipeline, WithBatchSize, WithLoader,
+// WithLoaderFactory, WithLoaderConfig, WithIterations, WithEpochs, WithSeed)
+// are *ConfigError here. Tenancy and observation options (WithPriority,
+// WithGPUs, WithRetainBatches, WithChaos, WithChaosScenario) may differ from
+// the original session. Resume consumes the checkpoint; a second Resume is a
+// *ConfigError.
+func Resume(ck *Checkpoint, opts ...Option) (*Session, error) {
+	if ck == nil {
+		return nil, configErr("Resume", "nil checkpoint")
+	}
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	if ck.consumed {
+		return nil, configErr("Resume", "checkpoint already consumed")
+	}
+	o := buildOptions(opts)
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	if err := o.rejectClusterOwned(); err != nil {
+		return nil, err
+	}
+	switch {
+	case o.pipeline != nil:
+		return nil, configErr("WithPipeline", "pinned by the checkpoint")
+	case o.batchSize != 0:
+		return nil, configErr("WithBatchSize", "pinned by the checkpoint")
+	case o.loaderName != "" || o.factory != nil || o.loaderCfg != nil:
+		return nil, configErr("WithLoader", "pinned by the checkpoint")
+	case o.iterations != 0 || o.epochs != 0:
+		return nil, configErr("WithIterations/WithEpochs", "the budget is pinned by the checkpoint")
+	case o.seedSet:
+		return nil, configErr("WithSeed", "pinned by the checkpoint")
+	}
+	if ck.spec.TotalBatches() <= 0 {
+		return nil, configErr("Resume",
+			fmt.Sprintf("checkpoint has no remaining budget (all %d batches delivered)", ck.spec.Skip))
+	}
+
+	// Overlay the snapshot: the resumed stream is the original stream minus
+	// its delivered prefix.
+	o.skip = ck.spec.Skip
+	o.pipeline = ck.spec.Pipeline
+	o.batchSize = ck.spec.BatchSize
+	o.epochs = ck.spec.Epochs
+	o.iterations = ck.spec.Iterations
+	o.seed = ck.spec.Seed
+	fac := ck.factory
+	o.factory = &fac
+	o.retain = ck.retain || o.retain
+	if !o.prioritySet {
+		o.weight = ck.weight
+	}
+	if o.gpus == 0 {
+		o.gpus = ck.gpus
+	}
+
+	sess, err := ck.cl.open(ck.dataset, o, ck.owns)
+	if err != nil {
+		return nil, err
+	}
+	sess.resumedAt = sess.rt.Now()
+	ck.consumed = true
+	return sess, nil
+}

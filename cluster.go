@@ -232,6 +232,10 @@ func (c *Cluster) open(dataset Dataset, o *sessionOptions, ownsCluster bool) (*S
 	if err != nil {
 		return nil, err
 	}
+	script, err := o.resolveChaos(0)
+	if err != nil {
+		return nil, err
+	}
 	gpuCount, err := c.sessionGPUs(o.gpus)
 	if err != nil {
 		return nil, err
@@ -256,6 +260,7 @@ func (c *Cluster) open(dataset Dataset, o *sessionOptions, ownsCluster bool) (*S
 		Epochs:     epochs,
 		Iterations: o.iterations,
 		Seed:       o.seed,
+		Skip:       o.skip,
 	}
 	if spec.BatchesPerEpoch() == 0 {
 		return nil, configErr("WithBatchSize", fmt.Sprintf("batch size %d exceeds dataset %q size %d",
@@ -295,9 +300,11 @@ func (c *Cluster) open(dataset Dataset, o *sessionOptions, ownsCluster bool) (*S
 		rt:          c.rt,
 		env:         env,
 		ld:          ld,
+		factory:     f,
 		name:        name,
 		spec:        spec,
 		retain:      o.retain,
+		script:      script,
 	}
 	c.mu.Lock()
 	c.sessions[s] = struct{}{}
@@ -354,6 +361,11 @@ func (c *Cluster) train(w Workload, o *sessionOptions) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	script, err := o.resolveChaos(0)
+	if err != nil {
+		return nil, err
+	}
+	o.params.Chaos = script
 	gpuCount, err := c.sessionGPUs(o.gpus)
 	if err != nil {
 		return nil, err

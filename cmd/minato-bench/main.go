@@ -14,6 +14,7 @@
 //	minato-bench -tenants               # multi-tenant tier: 1/4/16 sessions
 //	minato-bench -nodes                 # multi-node tier: 2/8-node clusters
 //	minato-bench -warm                  # warm-start tier: materialized cache
+//	minato-bench -chaos                 # fault-injection tier: chaos scenarios
 //
 // Experiment IDs follow the paper: table1..table3, fig1b..fig12, e1 (the
 // artifact appendix run), and abl-* design ablations. Loader and workload
@@ -37,17 +38,18 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "", "experiment ID, comma list, or 'all'")
-		loader   = flag.String("loader", "", "run one session with this registered loader")
-		workload = flag.String("workload", "", "run one session with this registered workload")
-		out      = flag.String("out", "", "directory for CSV output (optional)")
-		seed     = flag.Uint64("seed", 1, "random seed")
-		quick    = flag.Bool("quick", false, "shrink run lengths (CI mode)")
-		fleet    = flag.Bool("fleet", false, "run the multi-GPU scale-out tier (8/32/64 simulated GPUs)")
-		tenants  = flag.Bool("tenants", false, "run the multi-tenant cluster tier (1/4/16 concurrent sessions)")
-		nodes    = flag.Bool("nodes", false, "run the multi-node tier (2/8-node clusters over the netsim fabric)")
-		warm     = flag.Bool("warm", false, "run the warm-start tier (1/4/16 tenants over a shared materialized cache)")
-		list     = flag.Bool("list", false, "list experiment IDs and registered names, then exit")
+		exp       = flag.String("exp", "", "experiment ID, comma list, or 'all'")
+		loader    = flag.String("loader", "", "run one session with this registered loader")
+		workload  = flag.String("workload", "", "run one session with this registered workload")
+		out       = flag.String("out", "", "directory for CSV output (optional)")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		quick     = flag.Bool("quick", false, "shrink run lengths (CI mode)")
+		fleet     = flag.Bool("fleet", false, "run the multi-GPU scale-out tier (8/32/64 simulated GPUs)")
+		tenants   = flag.Bool("tenants", false, "run the multi-tenant cluster tier (1/4/16 concurrent sessions)")
+		nodes     = flag.Bool("nodes", false, "run the multi-node tier (2/8-node clusters over the netsim fabric)")
+		warm      = flag.Bool("warm", false, "run the warm-start tier (1/4/16 tenants over a shared materialized cache)")
+		chaosTier = flag.Bool("chaos", false, "run the fault-injection tier (registered chaos scenarios on an 8-node cluster)")
+		list      = flag.Bool("list", false, "list experiment IDs and registered names, then exit")
 	)
 	flag.Parse()
 
@@ -62,6 +64,9 @@ func main() {
 	}
 	if *warm {
 		os.Exit(runWarm(*workload, *seed, *quick))
+	}
+	if *chaosTier {
+		os.Exit(runChaos(*workload, *seed, *quick))
 	}
 
 	if (*loader != "" || *workload != "") && !*list {
@@ -309,6 +314,52 @@ func runNodes(workload string, seed uint64, quick bool) int {
 				n, rep.Loader, rep.Steps, rep.StepTime().Seconds()*1000, rep.AvgGPUUtil,
 				100*rep.DataStallShare(), 100*rep.BarrierStallShare(), 100*rep.NetworkStallShare(),
 				wall.Round(time.Millisecond))
+		}
+	}
+	return 0
+}
+
+// runChaos benchmarks the fault-injection tier: every registered chaos
+// scenario that is valid on an 8-node cluster (plus a no-chaos baseline),
+// reporting the SLO view — tail step time and measured recovery — that
+// BenchmarkChurn tracks in CI.
+func runChaos(workload string, seed uint64, quick bool) int {
+	if workload == "" {
+		workload = "speech-3s"
+	}
+	const nodes = 8
+	itersPerNode := 15
+	if quick {
+		itersPerNode = 5
+	}
+	run := func(name string, opts ...minato.Option) int {
+		start := time.Now()
+		opts = append([]minato.Option{
+			minato.WithNodes(nodes),
+			minato.WithSeed(seed),
+			minato.WithGPUs(1),
+			minato.WithIterations(itersPerNode),
+		}, opts...)
+		rep, err := minato.TrainMultiNode(workload, opts...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Printf("chaos %-14s: %d steps, p99 %.0f ms/step, recovery %.0f ms, GPU %.1f%% (%s wall)\n",
+			name, rep.Steps, rep.StepP99.Seconds()*1000, rep.RecoveryTime().Seconds()*1000,
+			rep.AvgGPUUtil, time.Since(start).Round(time.Millisecond))
+		return 0
+	}
+	if rc := run("baseline"); rc != 0 {
+		return rc
+	}
+	for _, name := range minato.ChaosScenarios() {
+		script, _ := minato.ChaosScenarioByName(name)
+		if script.Validate(nodes) != nil {
+			continue // single-machine-only scenario (preemption etc.)
+		}
+		if rc := run(name, minato.WithChaosScenario(name)); rc != 0 {
+			return rc
 		}
 	}
 	return 0

@@ -1,6 +1,10 @@
 package minato
 
-import "errors"
+import (
+	"errors"
+
+	"github.com/minatoloader/minato/internal/chaos"
+)
 
 // Error taxonomy. Every error the public API returns for misuse is one of
 // the following, so callers can branch without string matching:
@@ -15,6 +19,12 @@ import "errors"
 //     the AdmitReject policy while every session slot is taken.
 //   - ErrClusterClosed — an operation on a closed Cluster, including opens
 //     that were queued (AdmitQueue) when the cluster shut down.
+//   - ErrPreempted — a WithChaos script preempted the session and schedules
+//     no resume: the stream/training run halts at the next step boundary.
+//     Checkpoint the session and Resume it to continue warm.
+//   - ErrNodeLost — a TrainMultiNode chaos script crashed the last live
+//     node, leaving the cluster unable to make progress (a crash with a
+//     scheduled rejoin keeps the run alive; losing everyone does not).
 //
 // Runtime errors (a cancelled context, a failing loader) pass through
 // unwrapped: they are the underlying error, not a member of this taxonomy.
@@ -53,6 +63,19 @@ var ErrClusterSaturated = errors.New("minato: cluster saturated")
 // ErrClusterClosed is returned for operations on a closed Cluster,
 // including queued opens released by Close.
 var ErrClusterClosed = errors.New("minato: cluster closed")
+
+// ErrPreempted is returned when a WithChaos script preempts a session with
+// no resume scheduled: Batches yields it once and ends the stream; Train
+// returns it as the session error. The session's progress survives —
+// Checkpoint then Resume continues against the still-warm caches.
+var ErrPreempted = chaos.ErrPreempted
+
+// ErrNodeLost is returned by TrainMultiNode when a chaos script crashes
+// the last live node: a synchronous data-parallel cluster with no
+// survivors cannot complete a step, so the run unwinds instead of
+// spinning. Crash events that leave at least one node active are handled
+// elastically and are not errors.
+var ErrNodeLost = chaos.ErrNodeLost
 
 // configErr builds a *ConfigError.
 func configErr(option, reason string) error {

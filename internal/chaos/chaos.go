@@ -1,0 +1,331 @@
+// Package chaos is a deterministic fault-injection engine for the
+// simulated training substrate: a Script of timestamped events — node
+// crashes and rejoins, NIC degradation, disk-read slowdowns, CPU worker
+// stalls, session preemption — scheduled on the simtime.Virtual clock and
+// applied to a running session or multi-node job. Because the clock is
+// discrete-event and the script is static data, an identical script
+// against an identical run produces bit-identical reports: chaos here is
+// reproducible by construction, which is what makes recovery-time and
+// p99-step-time SLOs assertable in tests.
+//
+// Events divide into two application styles. Continuous-substrate events
+// (link, disk, worker, preempt) take effect at exactly Event.At, applied
+// by an Engine task parked on the virtual clock. Membership events
+// (NodeCrash/NodeJoin) cannot safely fire mid-step — a synchronous
+// data-parallel cluster has no consistent state there — so the distributed
+// runner applies them at the first step boundary at or after Event.At,
+// the way an elastic agent (TorchElastic-style) reconfigures between
+// steps.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// ErrPreempted is the session-preempted sentinel: a script paused the
+// session with no resume scheduled. Re-exported as minato.ErrPreempted.
+var ErrPreempted = errors.New("minato: session preempted")
+
+// ErrNodeLost is the no-survivors sentinel: a script crashed the last
+// live node of a multi-node job. Re-exported as minato.ErrNodeLost.
+var ErrNodeLost = errors.New("minato: all nodes lost")
+
+// Kind enumerates fault-event types.
+type Kind int
+
+const (
+	// NodeCrash removes Node from a multi-node job at the first step
+	// boundary at or after At: its consumers stop training, its loader is
+	// torn down (draining claims), its page cache is dropped (a restarted
+	// machine comes back cold), and the survivors re-shard the dataset.
+	NodeCrash Kind = iota
+	// NodeJoin returns a crashed Node at the first step boundary at or
+	// after At; the cluster re-shards across the enlarged membership and
+	// the report records the node's recovery time (rejoin event to its
+	// first completed synchronized step).
+	NodeJoin
+	// LinkDegrade divides Node's NIC bandwidth by Factor at At — a flaky
+	// cable or oversubscribed leaf switch. Factor = +Inf expresses a full
+	// outage (the fabric clamps to its documented floor).
+	LinkDegrade
+	// LinkRestore returns Node's NIC to its configured bandwidth.
+	LinkRestore
+	// DiskDegrade multiplies storage read times by Factor at At — the
+	// shared-filesystem brownout of §5.3. On a remote-store multi-node
+	// cluster it hits the storage server; with local stores, every node.
+	DiskDegrade
+	// DiskRestore returns the disk to full speed.
+	DiskRestore
+	// WorkerStall occupies roughly Factor× the CPU pool's cores with hog
+	// work for Duration — a co-located job stealing preprocessing cores.
+	// On a multi-node job it targets Node's CPU pool.
+	WorkerStall
+	// Preempt pauses a session's training consumers at the next batch
+	// boundary (single-machine sessions only). With a later Resume the
+	// session continues and the pause is attributed as preemption stall;
+	// with none, the session halts with ErrPreempted — checkpoint it and
+	// minato.Resume to continue warm.
+	Preempt
+	// Resume unpauses a preempted session.
+	Resume
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case NodeCrash:
+		return "node-crash"
+	case NodeJoin:
+		return "node-join"
+	case LinkDegrade:
+		return "link-degrade"
+	case LinkRestore:
+		return "link-restore"
+	case DiskDegrade:
+		return "disk-degrade"
+	case DiskRestore:
+		return "disk-restore"
+	case WorkerStall:
+		return "worker-stall"
+	case Preempt:
+		return "preempt"
+	case Resume:
+		return "resume"
+	default:
+		return fmt.Sprintf("chaos.Kind(%d)", int(k))
+	}
+}
+
+// Event is one scripted fault.
+type Event struct {
+	// At is the virtual time the event fires (membership events apply at
+	// the first step boundary at or after At).
+	At time.Duration
+	// Kind selects the fault.
+	Kind Kind
+	// Node targets a multi-node rank (NodeCrash/NodeJoin/LinkDegrade/
+	// LinkRestore/WorkerStall). Single-machine events leave it 0.
+	Node int
+	// Factor is the degradation multiplier (≥ 1) for LinkDegrade,
+	// DiskDegrade, and WorkerStall.
+	Factor float64
+	// Duration bounds a WorkerStall's hog work.
+	Duration time.Duration
+}
+
+// String formats the event compactly.
+func (e Event) String() string {
+	s := fmt.Sprintf("%s@%v", e.Kind, e.At)
+	switch e.Kind {
+	case NodeCrash, NodeJoin, LinkRestore:
+		s += fmt.Sprintf(" node=%d", e.Node)
+	case LinkDegrade, WorkerStall:
+		s += fmt.Sprintf(" node=%d ×%g", e.Node, e.Factor)
+	case DiskDegrade:
+		s += fmt.Sprintf(" ×%g", e.Factor)
+	}
+	if e.Duration > 0 {
+		s += fmt.Sprintf(" for=%v", e.Duration)
+	}
+	return s
+}
+
+// Script is a named, composable fault schedule. The zero value injects
+// nothing.
+type Script struct {
+	Name   string
+	Events []Event
+}
+
+// Empty reports whether the script injects nothing.
+func (s Script) Empty() bool { return len(s.Events) == 0 }
+
+// Sorted returns the events ordered by At (stable: equal times keep
+// script order), leaving s untouched.
+func (s Script) Sorted() []Event {
+	evs := make([]Event, len(s.Events))
+	copy(evs, s.Events)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+	return evs
+}
+
+// HasMembershipEvents reports whether the script crashes or rejoins nodes
+// — the events that switch a multi-node run into elastic membership mode.
+func (s Script) HasMembershipEvents() bool {
+	for _, ev := range s.Events {
+		if ev.Kind == NodeCrash || ev.Kind == NodeJoin {
+			return true
+		}
+	}
+	return false
+}
+
+// Compose merges scripts into one named schedule; overlapping times keep
+// argument order (stable sort at run time).
+func Compose(name string, scripts ...Script) Script {
+	out := Script{Name: name}
+	for _, s := range scripts {
+		out.Events = append(out.Events, s.Events...)
+	}
+	return out
+}
+
+// Shift returns a copy of s with every event delayed by d.
+func Shift(s Script, d time.Duration) Script {
+	evs := make([]Event, len(s.Events))
+	for i, ev := range s.Events {
+		ev.At += d
+		evs[i] = ev
+	}
+	return Script{Name: s.Name, Events: evs}
+}
+
+// Validate checks the script against a run shape: nodes > 0 is a
+// multi-node job with that many ranks; nodes == 0 a single-machine
+// session. It verifies per-kind fields, node bounds, and pairing
+// (join-after-crash per node, resume-after-preempt), and returns a
+// descriptive error on the first violation. A crash schedule that leaves
+// zero live nodes is legal here — the runner detects it at the step
+// boundary where it actually happens and unwinds with ErrNodeLost.
+func (s Script) Validate(nodes int) error {
+	multi := nodes > 0
+	crashed := map[int]bool{}
+	paused := false
+	for _, ev := range s.Sorted() {
+		if ev.At < 0 {
+			return fmt.Errorf("%v: negative time", ev)
+		}
+		switch ev.Kind {
+		case NodeCrash, NodeJoin, LinkDegrade, LinkRestore:
+			if !multi {
+				return fmt.Errorf("%v: node/link events need a multi-node run", ev)
+			}
+			if ev.Node < 0 || ev.Node >= nodes {
+				return fmt.Errorf("%v: node outside cluster of %d", ev, nodes)
+			}
+		case WorkerStall:
+			if multi && (ev.Node < 0 || ev.Node >= nodes) {
+				return fmt.Errorf("%v: node outside cluster of %d", ev, nodes)
+			}
+			if ev.Duration <= 0 {
+				return fmt.Errorf("%v: needs a positive Duration", ev)
+			}
+		case DiskDegrade, DiskRestore:
+			// Targets the storage substrate as a whole; no node bound.
+		case Preempt, Resume:
+			if multi {
+				return fmt.Errorf("%v: preemption applies to single-machine sessions; crash nodes instead", ev)
+			}
+		default:
+			return fmt.Errorf("%v: unknown kind", ev)
+		}
+		switch ev.Kind {
+		case LinkDegrade, DiskDegrade, WorkerStall:
+			if !(ev.Factor >= 1) || math.IsNaN(ev.Factor) {
+				return fmt.Errorf("%v: factor must be ≥ 1", ev)
+			}
+		}
+		switch ev.Kind {
+		case NodeCrash:
+			if crashed[ev.Node] {
+				return fmt.Errorf("%v: node already crashed", ev)
+			}
+			crashed[ev.Node] = true
+		case NodeJoin:
+			if !crashed[ev.Node] {
+				return fmt.Errorf("%v: node is not crashed", ev)
+			}
+			crashed[ev.Node] = false
+		case Preempt:
+			if paused {
+				return fmt.Errorf("%v: session already preempted", ev)
+			}
+			paused = true
+		case Resume:
+			if !paused {
+				return fmt.Errorf("%v: session is not preempted", ev)
+			}
+			paused = false
+		}
+	}
+	return nil
+}
+
+// FaultStat is one applied fault in a report: when it took effect, when
+// its counterpart cleared it (zero if never), the measured recovery time
+// (NodeJoin: rejoin event to the node's first completed synchronized
+// step; Resume: resume event to the next delivered batch), and the
+// consumer stall the run accumulated while the fault was active — the
+// per-fault attribution of churn cost.
+type FaultStat struct {
+	Event       Event
+	AppliedAt   time.Duration
+	ClearedAt   time.Duration
+	Recovery    time.Duration
+	StallDuring time.Duration
+}
+
+// Builders for the common one-fault scripts; compose them with Compose.
+
+// CrashNode crashes node at `at` and rejoins it at `rejoin` (rejoin ≤ at
+// means the node never returns).
+func CrashNode(node int, at, rejoin time.Duration) Script {
+	s := Script{
+		Name:   fmt.Sprintf("crash-node-%d", node),
+		Events: []Event{{At: at, Kind: NodeCrash, Node: node}},
+	}
+	if rejoin > at {
+		s.Events = append(s.Events, Event{At: rejoin, Kind: NodeJoin, Node: node})
+	}
+	return s
+}
+
+// FlapLink degrades node's NIC by factor at `at` and restores it after
+// duration.
+func FlapLink(node int, at time.Duration, factor float64, duration time.Duration) Script {
+	return Script{
+		Name: fmt.Sprintf("link-flap-%d", node),
+		Events: []Event{
+			{At: at, Kind: LinkDegrade, Node: node, Factor: factor},
+			{At: at + duration, Kind: LinkRestore, Node: node},
+		},
+	}
+}
+
+// BrownoutDisk slows storage reads by factor at `at` and restores them
+// after duration.
+func BrownoutDisk(at time.Duration, factor float64, duration time.Duration) Script {
+	return Script{
+		Name: "disk-brownout",
+		Events: []Event{
+			{At: at, Kind: DiskDegrade, Factor: factor},
+			{At: at + duration, Kind: DiskRestore},
+		},
+	}
+}
+
+// StallWorkers occupies ~factor× of node's CPU cores with hog work for
+// duration, starting at `at`.
+func StallWorkers(node int, at time.Duration, factor float64, duration time.Duration) Script {
+	return Script{
+		Name: "worker-stall",
+		Events: []Event{
+			{At: at, Kind: WorkerStall, Node: node, Factor: factor, Duration: duration},
+		},
+	}
+}
+
+// PreemptFor pauses the session at `at` and resumes it after duration; a
+// zero duration preempts permanently (the session ends with
+// ErrPreempted).
+func PreemptFor(at, duration time.Duration) Script {
+	s := Script{Name: "preempt", Events: []Event{{At: at, Kind: Preempt}}}
+	if duration > 0 {
+		s.Events = append(s.Events, Event{At: at + duration, Kind: Resume})
+	}
+	return s
+}

@@ -1,0 +1,195 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/minatoloader/minato/internal/simtime"
+)
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name   string
+		script Script
+		nodes  int
+		ok     bool
+	}{
+		{"empty", Script{}, 0, true},
+		{"crash-rejoin", CrashNode(3, 5*time.Second, 8*time.Second), 8, true},
+		{"crash-forever", CrashNode(0, time.Second, 0), 4, true},
+		{"crash-single-machine", CrashNode(0, time.Second, 0), 0, false},
+		{"crash-out-of-range", CrashNode(8, time.Second, 0), 8, false},
+		{"double-crash", Compose("", CrashNode(1, time.Second, 0), CrashNode(1, 2*time.Second, 0)), 4, false},
+		{"join-without-crash", Script{Events: []Event{{At: time.Second, Kind: NodeJoin, Node: 1}}}, 4, false},
+		{"join-before-crash-sorted", Script{Events: []Event{
+			{At: 2 * time.Second, Kind: NodeCrash, Node: 1},
+			{At: time.Second, Kind: NodeJoin, Node: 1},
+		}}, 4, false},
+		{"negative-time", Script{Events: []Event{{At: -time.Second, Kind: DiskDegrade, Factor: 2}}}, 0, false},
+		{"link-flap", FlapLink(1, time.Second, 8, time.Second), 4, true},
+		{"link-factor-below-one", Script{Events: []Event{{At: 0, Kind: LinkDegrade, Node: 0, Factor: 0.5}}}, 2, false},
+		{"disk-on-single-machine", BrownoutDisk(time.Second, 8, time.Second), 0, true},
+		{"stall-needs-duration", Script{Events: []Event{{Kind: WorkerStall, Factor: 2}}}, 0, false},
+		{"preempt-resume", PreemptFor(time.Second, time.Second), 0, true},
+		{"preempt-forever", PreemptFor(time.Second, 0), 0, true},
+		{"preempt-multinode", PreemptFor(time.Second, time.Second), 4, false},
+		{"double-preempt", Compose("", PreemptFor(time.Second, 0), PreemptFor(2*time.Second, 0)), 0, false},
+		{"resume-alone", Script{Events: []Event{{At: time.Second, Kind: Resume}}}, 0, false},
+	}
+	for _, tc := range cases {
+		err := tc.script.Validate(tc.nodes)
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error: %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: validation passed, want error", tc.name)
+		}
+	}
+}
+
+func TestSortedIsStableAndNonMutating(t *testing.T) {
+	s := Script{Events: []Event{
+		{At: 2 * time.Second, Kind: DiskRestore},
+		{At: time.Second, Kind: DiskDegrade, Factor: 2},
+		{At: time.Second, Kind: LinkDegrade, Node: 1, Factor: 4},
+	}}
+	got := s.Sorted()
+	if got[0].Kind != DiskDegrade || got[1].Kind != LinkDegrade || got[2].Kind != DiskRestore {
+		t.Fatalf("sorted order wrong: %v", got)
+	}
+	if s.Events[0].Kind != DiskRestore {
+		t.Fatal("Sorted mutated the script")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	for _, name := range []string{"node-crash", "link-flap", "disk-brownout", "worker-stall", "preempt-resume", "churn-storm"} {
+		s, ok := ByName(name)
+		if !ok {
+			t.Fatalf("builtin scenario %q missing", name)
+		}
+		if s.Empty() {
+			t.Fatalf("scenario %q is empty", name)
+		}
+		if s.Name == "" {
+			t.Fatalf("scenario %q has no name", name)
+		}
+	}
+	if _, ok := ByName("no-such-scenario"); ok {
+		t.Fatal("unknown scenario resolved")
+	}
+	// The acceptance scenario is exactly "node 3 crashes at 5s, rejoins at 8s".
+	s, _ := ByName("node-crash")
+	want := []Event{
+		{At: 5 * time.Second, Kind: NodeCrash, Node: 3},
+		{At: 8 * time.Second, Kind: NodeJoin, Node: 3},
+	}
+	if len(s.Events) != 2 || s.Events[0] != want[0] || s.Events[1] != want[1] {
+		t.Fatalf("node-crash scenario = %v, want %v", s.Events, want)
+	}
+}
+
+func TestEngineAppliesAtEventTimes(t *testing.T) {
+	k := simtime.NewVirtual()
+	k.Run(func() {
+		wg := simtime.NewWaitGroup(k)
+		var applied []Event
+		var times []time.Duration
+		s := Compose("",
+			BrownoutDisk(time.Second, 2, 2*time.Second),
+			StallWorkers(0, 2*time.Second, 2, time.Second),
+		)
+		StartEngine(k, wg, s.Sorted(), func(ev Event) {
+			applied = append(applied, ev)
+			times = append(times, k.Now())
+		})
+		_ = wg.Wait(context.Background())
+		wantKinds := []Kind{DiskDegrade, WorkerStall, DiskRestore}
+		wantTimes := []time.Duration{time.Second, 2 * time.Second, 3 * time.Second}
+		if len(applied) != len(wantKinds) {
+			t.Fatalf("applied %d events, want %d", len(applied), len(wantKinds))
+		}
+		for i := range applied {
+			if applied[i].Kind != wantKinds[i] || times[i] != wantTimes[i] {
+				t.Errorf("event %d: %v at %v, want %v at %v", i, applied[i].Kind, times[i], wantKinds[i], wantTimes[i])
+			}
+		}
+	})
+}
+
+func TestEngineStopDropsPendingEvents(t *testing.T) {
+	k := simtime.NewVirtual()
+	k.Run(func() {
+		wg := simtime.NewWaitGroup(k)
+		var applied int
+		eng := StartEngine(k, wg, BrownoutDisk(time.Second, 2, time.Hour).Sorted(), func(Event) {
+			applied++
+		})
+		_ = k.Sleep(context.Background(), 2*time.Second)
+		eng.Stop()
+		_ = wg.Wait(context.Background())
+		if applied != 1 {
+			t.Fatalf("applied %d events, want 1 (restore dropped by Stop)", applied)
+		}
+	})
+	var nilEng *Engine
+	nilEng.Stop() // must not panic
+}
+
+func TestPauserBlocksAndResumes(t *testing.T) {
+	k := simtime.NewVirtual()
+	k.Run(func() {
+		p := NewPauser(k)
+		wg := simtime.NewWaitGroup(k)
+		var stalled time.Duration
+		wg.Go("consumer", func() {
+			_ = k.Sleep(context.Background(), time.Second)
+			var err error
+			stalled, err = p.Wait(context.Background())
+			if err != nil {
+				t.Errorf("Wait: %v", err)
+			}
+		})
+		wg.Go("chaos", func() {
+			p.Pause(false)
+			_ = k.Sleep(context.Background(), 3*time.Second)
+			p.Resume()
+		})
+		_ = wg.Wait(context.Background())
+		if stalled != 2*time.Second {
+			t.Fatalf("stalled %v, want 2s", stalled)
+		}
+	})
+}
+
+func TestPauserTerminalReturnsErrPreempted(t *testing.T) {
+	k := simtime.NewVirtual()
+	k.Run(func() {
+		p := NewPauser(k)
+		wg := simtime.NewWaitGroup(k)
+		wg.Go("consumer", func() {
+			// Parked on a resumable pause that turns terminal.
+			_ = k.Sleep(context.Background(), 500*time.Millisecond)
+			_, err := p.Wait(context.Background())
+			if !errors.Is(err, ErrPreempted) {
+				t.Errorf("Wait = %v, want ErrPreempted", err)
+			}
+		})
+		wg.Go("chaos", func() {
+			p.Pause(false)
+			_ = k.Sleep(context.Background(), time.Second)
+			p.Pause(true)
+		})
+		_ = wg.Wait(context.Background())
+		// Late arrivals fail immediately.
+		if _, err := p.Wait(context.Background()); !errors.Is(err, ErrPreempted) {
+			t.Fatalf("late Wait = %v, want ErrPreempted", err)
+		}
+	})
+	var nilP *Pauser
+	if _, err := nilP.Wait(context.Background()); err != nil {
+		t.Fatalf("nil pauser Wait = %v", err)
+	}
+}

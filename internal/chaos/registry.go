@@ -1,0 +1,82 @@
+package chaos
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// The scenario registry mirrors the loader and workload registries: named
+// Script builders, so an experiment or CLI flag selects a failure
+// scenario by one string and compositions stay one-liners.
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]func() Script{}
+)
+
+// Register adds (or replaces) a named scenario builder.
+func Register(name string, build func() Script) {
+	regMu.Lock()
+	registry[name] = build
+	regMu.Unlock()
+}
+
+// ByName builds a registered scenario.
+func ByName(name string) (Script, bool) {
+	regMu.RLock()
+	build, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return Script{}, false
+	}
+	s := build()
+	if s.Name == "" {
+		s.Name = name
+	}
+	return s, true
+}
+
+// Names lists the registered scenarios, sorted.
+func Names() []string {
+	regMu.RLock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	regMu.RUnlock()
+	sort.Strings(names)
+	return names
+}
+
+// Built-in scenarios. Multi-node ones target low ranks so they fit any
+// cluster of ≥ 4 nodes; times suit runs of tens of seconds of virtual
+// time (a few hundred iterations).
+func init() {
+	// The acceptance scenario: node 3 crashes at t=5s and rejoins at t=8s.
+	Register("node-crash", func() Script {
+		return CrashNode(3, 5*time.Second, 8*time.Second)
+	})
+	Register("link-flap", func() Script {
+		return FlapLink(1, 2*time.Second, 8, 2*time.Second)
+	})
+	Register("disk-brownout", func() Script {
+		return BrownoutDisk(2*time.Second, 8, 3*time.Second)
+	})
+	Register("worker-stall", func() Script {
+		return StallWorkers(0, 2*time.Second, 2, 2*time.Second)
+	})
+	Register("preempt-resume", func() Script {
+		return PreemptFor(2*time.Second, 2*time.Second)
+	})
+	// Everything at once: the "8-node hetero mix + straggler + link flap
+	// at t=2s + node 3 crash at t=5s" churn storm (pair it with a
+	// Topology carrying the hetero mix and stragglers).
+	Register("churn-storm", func() Script {
+		return Compose("churn-storm",
+			FlapLink(1, 2*time.Second, 8, 2*time.Second),
+			CrashNode(3, 5*time.Second, 8*time.Second),
+			BrownoutDisk(6*time.Second, 4, 2*time.Second),
+		)
+	})
+}

@@ -50,23 +50,53 @@ type Device struct {
 	mu       sync.Mutex
 	entries  entryHeap // min-heap by completion target
 	rate     float64   // current per-task progress rate
-	progress float64   // ∫ rate dt, in full-speed seconds
+	progress float64   // ∫ rate dt, in full-speed seconds, as of lastT
 	lastT    time.Duration
+
+	// Both integrals are anchored and recomputed analytically, never
+	// accumulated per wake segment: progress(t) = anchorP + rate·(t−anchorPT).
+	// Re-anchoring is DEFERRED to the next advance across real elapsed time:
+	// membership events at one instant only update d.rate (and bump the
+	// epoch when its value moves), and advanceLocked settles the anchor at
+	// lastT before integrating past it. Deferral is what makes the integrals
+	// order-independent within an instant: an enter and an exit coinciding
+	// at time T leave the same settled rate no matter which the kernel
+	// processes first, so the anchor state — and the float rounding of every
+	// later completion stamp — is a pure function of the settled event
+	// history. (Re-anchoring eagerly per change nets "moved twice" on one
+	// order and "never moved" on the other for a transient 1 → C/(C+1) → 1
+	// blip, and ns-scale rounding then depends on same-instant scheduling.)
+	// Completion instants are stamped from the settled anchor — or, while
+	// a change awaits settlement, from (lastT, progress), which is exactly
+	// where the anchor will settle — so re-stamping is bitwise idempotent:
+	// a spurious wake, or an early fire from a transiently-stamped
+	// deadline, recomputes the identical instant no matter when it runs.
+	anchorP    float64
+	anchorPT   time.Duration
+	anchorRate float64 // rate in effect since anchorPT
+	anchorB    float64
+	anchorBT   time.Duration
+	anchorK    float64 // effective occupancy min(k, cap) since anchorBT
+	rateEpoch  uint64
 
 	// pool recycles entries (and their selectors) across Run calls: the
 	// occupancy fast path allocates nothing in steady state.
 	pool sync.Pool
 
 	// busyIntegral accumulates ∫ min(k, cap) dt in unit-seconds: the total
-	// amount of work the device has performed. Utilization over a window is
-	// Δbusy / (cap · Δt).
+	// amount of work the device has performed, as of lastT. Utilization
+	// over a window is Δbusy / (cap · Δt).
 	busyIntegral float64
-	lastAccount  time.Duration
 }
 
+// invalidEpoch marks an entry with no stamped completion instant.
+const invalidEpoch = ^uint64(0)
+
 type entry struct {
-	target float64 // progress value at which this task completes
-	idx    int     // heap index, -1 when not in the heap
+	target float64       // progress value at which this task completes
+	finish time.Duration // absolute completion instant, per rate epoch
+	epoch  uint64        // rate epoch finish was stamped under
+	idx    int           // heap index, -1 when not in the heap
 	// timed records that the task parked with its own completion timer —
 	// every occupant of an uncontended device does, so the kernel's
 	// same-deadline chaining batches them and no wake traffic is needed.
@@ -83,7 +113,8 @@ func New(rt simtime.Runtime, name string, capacity float64) *Device {
 	}
 	return &Device{
 		rt: rt, name: name, cap: capacity,
-		rate: 1, lastT: rt.Now(), lastAccount: rt.Now(),
+		rate: 1, anchorRate: 1,
+		lastT: rt.Now(), anchorPT: rt.Now(), anchorBT: rt.Now(),
 	}
 }
 
@@ -118,6 +149,7 @@ func (d *Device) Run(ctx context.Context, work time.Duration) error {
 	d.mu.Lock()
 	d.advanceLocked()
 	e.target = d.progress + work.Seconds()
+	e.epoch = invalidEpoch
 	heap.Push(&d.entries, e)
 	// Entering needs no wake: this task arms its own deadline below, and a
 	// rate drop only makes the current front's armed deadline early — it
@@ -134,11 +166,33 @@ func (d *Device) Run(ctx context.Context, work time.Duration) error {
 		var deadline time.Duration
 		if d.rate == 1 || d.entries[0] == e {
 			// Uncontended tasks and the front hold exact completion
-			// timers. A rate drop while parked only makes an armed
-			// deadline early — the task re-integrates and re-parks, which
-			// stays exact; a rate rise is handled by exitLocked waking the
-			// timed entries.
-			deadline = time.Duration((e.target-d.progress)/d.rate*float64(time.Second)) + time.Nanosecond
+			// timers, armed at the absolute finish instant stamped once
+			// per rate epoch from the epoch's anchor — so the instant (and
+			// its float rounding) is the same no matter when or how often
+			// the entry parks. A rate drop while parked only makes an
+			// armed deadline early — the task re-integrates and re-parks,
+			// which stays exact; a rate rise is handled by exitLocked
+			// waking the timed entries.
+			if e.epoch != d.rateEpoch {
+				if d.rate == d.anchorRate {
+					// Settled: stamp from the anchor, so the instant (and
+					// its rounding) is independent of when the entry parks
+					// or re-parks.
+					e.finish = d.anchorPT + time.Duration((e.target-d.anchorP)/d.rate*float64(time.Second)) + time.Nanosecond
+				} else {
+					// A rate change at lastT awaits settlement: progress is
+					// exact as of lastT and the new rate applies beyond it.
+					// Settlement moves the anchor to exactly (progress,
+					// lastT), so this stamp and later anchor-based ones
+					// agree bit-for-bit.
+					e.finish = d.lastT + time.Duration((e.target-d.progress)/d.rate*float64(time.Second)) + time.Nanosecond
+				}
+				e.epoch = d.rateEpoch
+			}
+			deadline = e.finish - d.lastT
+			if deadline <= 0 {
+				deadline = time.Nanosecond
+			}
 			e.timed = true
 		} else {
 			e.timed = false
@@ -197,28 +251,51 @@ func (d *Device) exitLocked(e *entry) {
 }
 
 // setRateLocked recomputes the shared per-task rate for the current
-// occupancy.
+// occupancy. It mutates only the rate (and the epoch, when the value
+// moved): anchor settlement is deferred to the next advance across real
+// elapsed time, so same-instant event ordering cannot perturb the
+// integrals — see the field comment. Callers must have run advanceLocked
+// in the same critical section so progress and busy time are current.
 func (d *Device) setRateLocked() {
-	k := len(d.entries)
-	d.rate = 1.0
-	if float64(k) > d.cap {
-		d.rate = d.cap / float64(k)
+	r := 1.0
+	if k := len(d.entries); float64(k) > d.cap {
+		r = d.cap / float64(k)
+	}
+	if r != d.rate {
+		d.rate = r
+		d.rateEpoch++
 	}
 }
 
-// advanceLocked integrates progress and busy time up to now.
+// advanceLocked brings progress and busy time up to now, analytically from
+// the anchors. Rate changes made at lastT are settled first — the anchors
+// move to lastT exactly when a differing rate is about to apply across
+// (lastT, now], using only settled values, never transient mid-instant
+// ones.
 func (d *Device) advanceLocked() {
 	now := d.rt.Now()
-	if dt := (now - d.lastT).Seconds(); dt > 0 {
-		d.progress += d.rate * dt
+	if now <= d.lastT {
+		return
 	}
-	d.lastT = now
+	if d.rate != d.anchorRate {
+		// progress already equals anchorP + anchorRate·(lastT − anchorPT):
+		// the previous advance computed exactly that expression.
+		d.anchorP = d.progress
+		d.anchorPT = d.lastT
+		d.anchorRate = d.rate
+	}
 	k := float64(len(d.entries))
 	if k > d.cap {
 		k = d.cap
 	}
-	d.busyIntegral += k * (now - d.lastAccount).Seconds()
-	d.lastAccount = now
+	if k != d.anchorK {
+		d.anchorB = d.busyIntegral
+		d.anchorBT = d.lastT
+		d.anchorK = k
+	}
+	d.progress = d.anchorP + d.anchorRate*(now-d.anchorPT).Seconds()
+	d.busyIntegral = d.anchorB + d.anchorK*(now-d.anchorBT).Seconds()
+	d.lastT = now
 }
 
 // accountLocked integrates busy time up to now (progress included, so the

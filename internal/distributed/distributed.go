@@ -16,6 +16,25 @@
 // cluster, so loader quality compounds with scale, and the Report
 // attributes each node's stall time to its cause (own input, the barrier,
 // or the network).
+//
+// # Fault injection and elastic membership
+//
+// A Config may carry a chaos.Script. Continuous-substrate events (link,
+// disk, worker stalls) are replayed by a chaos.Engine task at their exact
+// scripted times. Membership events (NodeCrash/NodeJoin) switch the run
+// into elastic mode: they are applied at the first step boundary at or
+// after their time, inside the resume barrier's release hook, where every
+// consumer in the cluster is parked — a quiescent point, the way an
+// elastic agent reconfigures between steps. A membership change stops
+// every loader (draining in-flight cache claims), drops the crashed
+// node's page cache, re-shards the dataset across the survivors under a
+// fresh deterministic permutation draw, and rebuilds the all-reduce ring
+// over the live NICs. Consumers of a crashed node keep arriving at both
+// step barriers as proxies — the barrier width never changes — but skip
+// data, training, and the collective; their parked time is attributed to
+// NodeStats.Downtime rather than BarrierStall. Because the script is
+// static data and every application point is either an exact virtual time
+// or a barrier completion, identical scripts yield bit-identical reports.
 package distributed
 
 import (
@@ -23,9 +42,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
+	"sync"
 	"sync/atomic"
 	"time"
 
+	"github.com/minatoloader/minato/internal/chaos"
 	"github.com/minatoloader/minato/internal/data"
 	"github.com/minatoloader/minato/internal/dataset"
 	"github.com/minatoloader/minato/internal/dist"
@@ -33,6 +55,7 @@ import (
 	"github.com/minatoloader/minato/internal/loader"
 	"github.com/minatoloader/minato/internal/netsim"
 	"github.com/minatoloader/minato/internal/simtime"
+	"github.com/minatoloader/minato/internal/stats"
 	"github.com/minatoloader/minato/internal/storage"
 	"github.com/minatoloader/minato/internal/trainer"
 	"github.com/minatoloader/minato/internal/workload"
@@ -42,8 +65,17 @@ import (
 // internal/dist: node i trains shard perm[i] of the epoch-invariant
 // n-way split. The constant must stay unique among the repository's
 // (seed, stream) draws — 77 is the workload accuracy-noise stream, and
-// epoch shuffles live at epoch+1000.
+// epoch shuffles live at epoch+1000. Elastic membership view v re-shards
+// under stream shardStream+v, so each re-configuration is its own
+// deterministic draw.
 const shardStream = 4200
+
+// NodeFault names one node and a degradation factor — the element of the
+// Stragglers and Degraded slices.
+type NodeFault struct {
+	Node   int
+	Factor float64
+}
 
 // Config describes the cluster.
 type Config struct {
@@ -69,16 +101,28 @@ type Config struct {
 	// storage.
 	RemoteStore bool
 
-	// StragglerFactor > 1 divides StragglerNode's CPU core count — the
-	// input-stalled-node scenario, where one underprovisioned node's
-	// preprocessing drags the whole synchronous cluster.
+	// Stragglers divides each listed node's CPU core count by its factor —
+	// the input-stalled-node scenario, where underprovisioned preprocessing
+	// drags the whole synchronous cluster. Entries with Factor ≤ 1 or an
+	// out-of-range node are ignored.
+	Stragglers []NodeFault
+	// Degraded divides each listed node's NIC bandwidth by its factor in
+	// both directions — a flaky cable or oversubscribed leaf switch.
+	Degraded []NodeFault
+
+	// StragglerFactor > 1 divides StragglerNode's CPU core count: sugar for
+	// one Stragglers entry, kept for callers configuring a single fault.
 	StragglerNode   int
 	StragglerFactor float64
 
-	// DegradedFactor > 1 divides DegradedNode's NIC bandwidth in both
-	// directions — a flaky cable or oversubscribed leaf switch.
+	// DegradedFactor > 1 divides DegradedNode's NIC bandwidth: sugar for
+	// one Degraded entry.
 	DegradedNode   int
 	DegradedFactor float64
+
+	// Script injects scripted faults during the run (see package chaos).
+	// Membership events switch the run into elastic mode.
+	Script chaos.Script
 }
 
 // DefaultConfig returns a 200 Gb/s-interconnect cluster of Config A nodes
@@ -95,15 +139,16 @@ func DefaultConfig(nodes int) Config {
 }
 
 // WithStraggler returns a copy of c with node's cores divided by factor.
+// Repeated calls accumulate distinct stragglers.
 func (c Config) WithStraggler(node int, factor float64) Config {
-	c.StragglerNode, c.StragglerFactor = node, factor
+	c.Stragglers = append(append([]NodeFault(nil), c.Stragglers...), NodeFault{node, factor})
 	return c
 }
 
 // WithDegradedLink returns a copy of c with node's NIC bandwidth divided
-// by factor.
+// by factor. Repeated calls accumulate distinct degraded links.
 func (c Config) WithDegradedLink(node int, factor float64) Config {
-	c.DegradedNode, c.DegradedFactor = node, factor
+	c.Degraded = append(append([]NodeFault(nil), c.Degraded...), NodeFault{node, factor})
 	return c
 }
 
@@ -112,6 +157,30 @@ func (c Config) WithMix(nodes ...hardware.Config) Config {
 	c.Mix = nodes
 	c.Nodes = len(nodes)
 	return c
+}
+
+// WithChaos returns a copy of c injecting the given fault script.
+func (c Config) WithChaos(s chaos.Script) Config {
+	c.Script = s
+	return c
+}
+
+// stragglerFaults merges the slice and the legacy single-fault fields.
+func (c Config) stragglerFaults() []NodeFault {
+	fs := append([]NodeFault(nil), c.Stragglers...)
+	if c.StragglerFactor > 1 {
+		fs = append(fs, NodeFault{c.StragglerNode, c.StragglerFactor})
+	}
+	return fs
+}
+
+// degradedFaults merges the slice and the legacy single-fault fields.
+func (c Config) degradedFaults() []NodeFault {
+	fs := append([]NodeFault(nil), c.Degraded...)
+	if c.DegradedFactor > 1 {
+		fs = append(fs, NodeFault{c.DegradedNode, c.DegradedFactor})
+	}
+	return fs
 }
 
 // nodeConfigs resolves the per-node hardware, applying the straggler
@@ -125,11 +194,13 @@ func (c Config) nodeConfigs() []hardware.Config {
 			cfgs = append(cfgs, c.Node)
 		}
 	}
-	if c.StragglerFactor > 1 && c.StragglerNode >= 0 && c.StragglerNode < len(cfgs) {
-		s := &cfgs[c.StragglerNode]
-		s.Cores = int(float64(s.Cores) / c.StragglerFactor)
-		if s.Cores < 1 {
-			s.Cores = 1
+	for _, s := range c.stragglerFaults() {
+		if s.Factor > 1 && s.Node >= 0 && s.Node < len(cfgs) {
+			n := &cfgs[s.Node]
+			n.Cores = int(float64(n.Cores) / s.Factor)
+			if n.Cores < 1 {
+				n.Cores = 1
+			}
 		}
 	}
 	return cfgs
@@ -151,6 +222,10 @@ type NodeStats struct {
 	// NetworkStall is time in the gradient all-reduce (flows + phase
 	// barriers) — the interconnect's share of the step.
 	NetworkStall time.Duration
+	// Downtime is time the node's consumers spent crashed out of the
+	// membership, idling through proxy rounds — attributed here, not to
+	// BarrierStall, so churn cost is separable from straggler cost.
+	Downtime time.Duration
 	// GPUUtil is the node's average GPU utilization in percent.
 	GPUUtil float64
 }
@@ -171,6 +246,15 @@ type Report struct {
 	// NetworkBytes is the total traffic the fabric carried: gradient
 	// flows plus (on a remote-store cluster) dataset fetches.
 	NetworkBytes int64
+	// StepP50 and StepP99 are synchronized-step-time quantiles from a
+	// log-bucket histogram — the SLO view of churn: a fault that stalls a
+	// handful of steps leaves the mean almost untouched and shows up here.
+	StepP50 time.Duration
+	StepP99 time.Duration
+	// Faults lists every applied scripted fault with its measured windows:
+	// when it took effect, when it cleared, recovery time, and the stall
+	// accumulated while it was active.
+	Faults []chaos.FaultStat
 	// PerNode attributes each node's stalls, in node order.
 	PerNode []NodeStats
 }
@@ -182,6 +266,18 @@ func (r *Report) StepTime() time.Duration {
 		return 0
 	}
 	return r.TrainTime / time.Duration(r.Steps)
+}
+
+// RecoveryTime is the longest measured fault recovery in the run — for
+// the common single-fault scripts, the recovery time.
+func (r *Report) RecoveryTime() time.Duration {
+	var max time.Duration
+	for _, f := range r.Faults {
+		if f.Recovery > max {
+			max = f.Recovery
+		}
+	}
+	return max
 }
 
 // consumerSeconds is the total consumer wall time the stall shares are
@@ -257,6 +353,9 @@ func Run(cfg Config, w workload.Workload, f trainer.Factory) (*Report, error) {
 	if len(nodeCfgs) == 0 {
 		return nil, errors.New("distributed: need at least one node")
 	}
+	if err := cfg.Script.Validate(len(nodeCfgs)); err != nil {
+		return nil, err
+	}
 	k := simtime.NewVirtual()
 	rep := &Report{Workload: w.Name, Loader: f.Name, Nodes: len(nodeCfgs)}
 	var runErr error
@@ -274,17 +373,295 @@ func Run(cfg Config, w workload.Workload, f trainer.Factory) (*Report, error) {
 // (consumers of the node add concurrently).
 type nodeState struct {
 	tb           *hardware.Testbed
-	ld           loader.Loader
+	env          *loader.Env
 	samples      atomic.Int64
 	dataStall    atomic.Int64
 	barrierStall atomic.Int64
 	networkStall atomic.Int64
+	downtime     atomic.Int64
+}
+
+// memberView is one immutable membership configuration: which nodes are
+// live, their loaders over the current shard split, and the all-reduce
+// ring across their NICs. Consumers load the current view once per round;
+// the controller swaps in a new view only at step boundaries, so nobody is
+// mid-Next or mid-collective across a change.
+type memberView struct {
+	id      int
+	active  []bool
+	loaders []loader.Loader // indexed by node; nil when inactive
+	ring    *netsim.Ring
+	ranks   []int // node → rank in the ring; -1 when inactive
+	done    bool
+}
+
+// winKey identifies an open fault window (disk events use node -1: they
+// target the storage substrate as a whole).
+type winKey struct {
+	kind chaos.Kind
+	node int
+}
+
+type openWin struct {
+	idx   int // index into ctrl.faults
+	stall time.Duration
+}
+
+// ctrl is the run's chaos-and-SLO controller. Its onBoundary hook runs in
+// the resume barrier's releasing arriver — single-threaded by construction
+// (the next release cannot begin until every consumer re-arrives), so the
+// round counter, histogram, and view swaps need no locking. The mutex
+// guards only the fault table, which the continuous-event engine task also
+// appends to.
+type ctrl struct {
+	k       *simtime.Virtual
+	cfg     Config
+	w       workload.Workload
+	f       trainer.Factory
+	fab     *netsim.Fabric
+	wg      *simtime.WaitGroup
+	nodes   []*nodeState
+	baseBW  []float64
+	disks   []*storage.Disk // DiskDegrade targets
+	seed    uint64
+	elastic bool
+
+	view atomic.Pointer[memberView]
+
+	// Boundary-hook state (single-threaded: see above).
+	pending      []chaos.Event // membership events, sorted
+	next         int
+	rounds       int64
+	target       int64 // elastic mode: rounds to run
+	lastBoundary time.Duration
+	hist         *stats.LogHist
+
+	mu         sync.Mutex
+	faults     []chaos.FaultStat
+	open       map[winKey]openWin
+	pendingRec map[int]int // node → faults index awaiting first post-join step
+
+	consumeErr atomic.Value
+}
+
+// totalStall sums every node's consumer stalls — the snapshot fault
+// windows diff to attribute stall to a fault.
+func (st *ctrl) totalStall() time.Duration {
+	var sum int64
+	for _, nd := range st.nodes {
+		sum += nd.dataStall.Load() + nd.barrierStall.Load() + nd.networkStall.Load()
+	}
+	return time.Duration(sum)
+}
+
+// openFault records a fault taking effect. Callers hold no locks.
+func (st *ctrl) openFault(ev chaos.Event, now time.Duration) {
+	key := winKey{ev.Kind, ev.Node}
+	if ev.Kind == chaos.DiskDegrade {
+		key.node = -1
+	}
+	st.mu.Lock()
+	st.faults = append(st.faults, chaos.FaultStat{Event: ev, AppliedAt: now})
+	st.open[key] = openWin{idx: len(st.faults) - 1, stall: st.totalStall()}
+	st.mu.Unlock()
+}
+
+// closeFault clears the open window opened by kind on node, attributing
+// the stall accumulated in between.
+func (st *ctrl) closeFault(kind chaos.Kind, node int, now time.Duration) {
+	st.mu.Lock()
+	if w, ok := st.open[winKey{kind, node}]; ok {
+		st.faults[w.idx].ClearedAt = now
+		st.faults[w.idx].StallDuring = st.totalStall() - w.stall
+		delete(st.open, winKey{kind, node})
+	}
+	st.mu.Unlock()
+}
+
+// applyContinuous handles the engine-replayed event kinds at their exact
+// scripted times.
+func (st *ctrl) applyContinuous(ev chaos.Event) {
+	now := st.k.Now()
+	switch ev.Kind {
+	case chaos.LinkDegrade:
+		if ev.Node >= 0 && ev.Node < len(st.baseBW) {
+			st.fab.SetBandwidth(ev.Node, st.baseBW[ev.Node]/ev.Factor)
+			st.openFault(ev, now)
+		}
+	case chaos.LinkRestore:
+		if ev.Node >= 0 && ev.Node < len(st.baseBW) {
+			st.fab.SetBandwidth(ev.Node, st.baseBW[ev.Node])
+			st.closeFault(chaos.LinkDegrade, ev.Node, now)
+		}
+	case chaos.DiskDegrade:
+		// The slowdown timeline was pre-installed before the run started;
+		// only the fault window is recorded here.
+		st.openFault(ev, now)
+	case chaos.DiskRestore:
+		st.closeFault(chaos.DiskDegrade, -1, now)
+	case chaos.WorkerStall:
+		if ev.Node < 0 || ev.Node >= len(st.nodes) {
+			return
+		}
+		st.openFault(ev, now)
+		cpu := st.nodes[ev.Node].tb.CPU
+		hogs := int(math.Ceil(ev.Factor * cpu.Capacity()))
+		if hogs < 1 {
+			hogs = 1
+		}
+		hogWG := simtime.NewWaitGroup(st.k)
+		for h := 0; h < hogs; h++ {
+			hogWG.Go("chaos-hog", func() {
+				_ = cpu.Run(context.Background(), ev.Duration)
+			})
+		}
+		node := ev.Node
+		st.wg.Go("chaos-hog-closer", func() {
+			_ = hogWG.Wait(context.Background())
+			st.closeFault(chaos.WorkerStall, node, st.k.Now())
+		})
+	}
+}
+
+// onBoundary runs at every completed resume-barrier generation, in the
+// releasing arriver, after the barrier reset and before any waiter wakes:
+// the one point where every consumer in the cluster is parked. It records
+// the step time, closes join-recovery windows, and — in elastic mode —
+// ends the run at the round target or applies pending membership events.
+func (st *ctrl) onBoundary(uint64) {
+	now := st.k.Now()
+	st.hist.AddDuration(now - st.lastBoundary)
+	st.lastBoundary = now
+	st.rounds++
+	if len(st.pendingRec) > 0 {
+		st.mu.Lock()
+		for node, idx := range st.pendingRec {
+			st.faults[idx].Recovery = now - st.faults[idx].Event.At
+			delete(st.pendingRec, node)
+		}
+		st.mu.Unlock()
+	}
+	if !st.elastic {
+		return
+	}
+	v := st.view.Load()
+	if v.done {
+		return
+	}
+	if st.rounds >= st.target {
+		nv := *v
+		nv.done = true
+		st.view.Store(&nv)
+		return
+	}
+	changed := false
+	active := append([]bool(nil), v.active...)
+	for st.next < len(st.pending) && st.pending[st.next].At <= now {
+		ev := st.pending[st.next]
+		st.next++
+		switch ev.Kind {
+		case chaos.NodeCrash:
+			if active[ev.Node] {
+				active[ev.Node] = false
+				changed = true
+				st.openFault(ev, now)
+			}
+		case chaos.NodeJoin:
+			if !active[ev.Node] {
+				active[ev.Node] = true
+				changed = true
+				st.closeFault(chaos.NodeCrash, ev.Node, now)
+				st.mu.Lock()
+				st.faults = append(st.faults, chaos.FaultStat{Event: ev, AppliedAt: now})
+				st.pendingRec[ev.Node] = len(st.faults) - 1
+				st.mu.Unlock()
+			}
+		}
+	}
+	if changed {
+		st.reshard(v, active, now)
+	}
+}
+
+// reshard applies a membership change: stop every loader (draining cache
+// claims), drop crashed caches, re-split the dataset across the survivors
+// under a fresh permutation draw, and rebuild the ring. Runs inside the
+// boundary hook, so all consumers are parked.
+func (st *ctrl) reshard(v *memberView, active []bool, now time.Duration) {
+	for _, ld := range v.loaders {
+		if ld != nil {
+			ld.Stop()
+		}
+	}
+	var members []int
+	for i, a := range active {
+		if v.active[i] && !a {
+			// A restarted machine comes back with a cold page cache.
+			st.nodes[i].tb.Cache.Recycle()
+		}
+		if a {
+			members = append(members, i)
+		}
+	}
+	id := v.id + 1
+	if len(members) == 0 {
+		st.consumeErr.Store(chaos.ErrNodeLost)
+		st.view.Store(&memberView{
+			id:     id,
+			active: active,
+			ranks:  make([]int, len(active)),
+			done:   true,
+		})
+		return
+	}
+	perm := dist.Permutation(st.seed, shardStream+uint64(id), len(members))
+	loaders := make([]loader.Loader, len(active))
+	ranks := make([]int, len(active))
+	for i := range ranks {
+		ranks[i] = -1
+	}
+	eps := make([]int, len(members))
+	remaining := st.target - st.rounds
+	for j, node := range members {
+		eps[j] = node
+		ranks[node] = j
+		nd := st.nodes[node]
+		shardW := st.w.WithDataset(dataset.Shard(st.w.Dataset, perm[j], len(members)))
+		sp := shardW.Spec()
+		sp.Iterations = int(remaining) * len(nd.tb.GPUs)
+		sp.Epochs = 0
+		ld := st.f.New(nd.env, sp)
+		if err := ld.Start(context.Background()); err != nil {
+			st.consumeErr.Store(err)
+			st.view.Store(&memberView{id: id, active: active, ranks: ranks, done: true})
+			return
+		}
+		loaders[node] = ld
+	}
+	st.view.Store(&memberView{
+		id:      id,
+		active:  active,
+		loaders: loaders,
+		ring:    netsim.NewRing(st.k, st.fab, eps),
+		ranks:   ranks,
+	})
 }
 
 func run(k *simtime.Virtual, cfg Config, nodeCfgs []hardware.Config, w workload.Workload, f trainer.Factory, rep *Report) error {
 	ctx := context.Background()
 	wg := simtime.NewWaitGroup(k)
 	n := len(nodeCfgs)
+
+	var memberEvs, contEvs []chaos.Event
+	for _, ev := range cfg.Script.Sorted() {
+		switch ev.Kind {
+		case chaos.NodeCrash, chaos.NodeJoin:
+			memberEvs = append(memberEvs, ev)
+		default:
+			contEvs = append(contEvs, ev)
+		}
+	}
+	elastic := len(memberEvs) > 0
 
 	// Fabric endpoints: one per node, plus the storage server when the
 	// dataset is remote.
@@ -299,8 +676,17 @@ func run(k *simtime.Virtual, cfg Config, nodeCfgs []hardware.Config, w workload.
 		Bandwidth: cfg.LinkBandwidth,
 		Latency:   cfg.LinkLatency,
 	})
-	if cfg.DegradedFactor > 1 && cfg.DegradedNode >= 0 && cfg.DegradedNode < n {
-		fab.SetBandwidth(cfg.DegradedNode, cfg.LinkBandwidth/cfg.DegradedFactor)
+	// baseBW is each node's configured NIC bandwidth after static
+	// degradation — the level LinkRestore returns to.
+	baseBW := make([]float64, n)
+	for i := range baseBW {
+		baseBW[i] = cfg.LinkBandwidth
+	}
+	for _, d := range cfg.degradedFaults() {
+		if d.Factor > 1 && d.Node >= 0 && d.Node < n {
+			baseBW[d.Node] /= d.Factor
+			fab.SetBandwidth(d.Node, baseBW[d.Node])
+		}
 	}
 
 	// On a remote-store cluster every node's cold reads share one server
@@ -324,7 +710,11 @@ func run(k *simtime.Virtual, cfg Config, nodeCfgs []hardware.Config, w workload.
 
 	nodes := make([]*nodeState, n)
 	nodeEPs := make([]int, n)
+	initLoaders := make([]loader.Loader, n)
+	initRanks := make([]int, n)
+	initActive := make([]bool, n)
 	totalConsumers := 0
+	target := int64(math.MaxInt64)
 	for i := range nodes {
 		tb := hardware.NewTestbed(k, nodeCfgs[i])
 		store := tb.Store
@@ -335,35 +725,93 @@ func run(k *simtime.Virtual, cfg Config, nodeCfgs []hardware.Config, w workload.
 		shardW := w.WithDataset(dataset.Shard(w.Dataset, perm[i], n))
 		env := &loader.Env{RT: k, CPU: tb.CPU, GPUs: tb.GPUs, Store: store, WG: wg,
 			Pool: data.NewPool()}
-		nodes[i] = &nodeState{tb: tb, ld: f.New(env, shardW.Spec())}
+		nodes[i] = &nodeState{tb: tb, env: env}
+		sp := shardW.Spec()
+		if t := int64(sp.TotalBatches() / len(tb.GPUs)); t < target {
+			target = t
+		}
+		if elastic {
+			// Elastic runs are round-budget-driven: every node gets exactly
+			// target rounds' worth of batches so the boundary hook, not an
+			// EOF race, ends the run.
+			sp.Iterations = int(target) * len(tb.GPUs)
+			sp.Epochs = 0
+		}
+		initLoaders[i] = f.New(env, sp)
 		nodeEPs[i] = i
+		initRanks[i] = i
+		initActive[i] = true
 		totalConsumers += len(tb.GPUs)
 	}
+	if elastic && target <= 0 {
+		return errors.New("distributed: chaos membership needs at least one full round per node")
+	}
+
+	st := &ctrl{
+		k: k, cfg: cfg, w: w, f: f, fab: fab, wg: wg,
+		nodes: nodes, baseBW: baseBW, seed: spec.Seed, elastic: elastic,
+		pending: memberEvs, target: target,
+		hist: stats.NewLogHist(),
+		open: map[winKey]openWin{}, pendingRec: map[int]int{},
+	}
+	if cfg.RemoteStore {
+		st.disks = []*storage.Disk{serverDisk}
+	} else {
+		for _, nd := range nodes {
+			st.disks = append(st.disks, nd.tb.Disk)
+		}
+	}
+	st.view.Store(&memberView{
+		active:  initActive,
+		loaders: initLoaders,
+		ring:    netsim.NewRing(k, fab, nodeEPs),
+		ranks:   initRanks,
+	})
 
 	// Two cyclic barriers frame the synchronized region of each step: all
 	// consumers arrive at `arrive`, node leaders run the collective, and
-	// everyone leaves through `resume`. A rank exiting early (EOF, error)
-	// breaks all of it so the cluster unwinds deterministically.
+	// everyone leaves through `resume`; the resume release hook is the
+	// run's quiescent point (step accounting, membership changes). A rank
+	// exiting early (EOF, error) breaks all of it so the cluster unwinds
+	// deterministically. Barrier width never changes — crashed nodes'
+	// consumers keep arriving as proxies.
 	arrive := simtime.NewBarrier(k, totalConsumers)
-	resume := simtime.NewBarrier(k, totalConsumers)
-	ring := netsim.NewRing(k, fab, nodeEPs)
+	resume := simtime.NewBarrierFunc(k, totalConsumers, st.onBoundary)
 	breakAll := func() {
 		arrive.Break()
 		resume.Break()
-		ring.Break()
-	}
-
-	for _, nd := range nodes {
-		if err := nd.ld.Start(ctx); err != nil {
-			return err
+		if r := st.view.Load().ring; r != nil {
+			r.Break()
 		}
 	}
 
+	for _, ld := range initLoaders {
+		if err := ld.Start(ctx); err != nil {
+			return err
+		}
+	}
+	// Disk degradation is pre-installed as a timeline (see
+	// storage.ScheduleSlowdown): a read racing the scripted instant
+	// resolves by its own start time, not by same-instant scheduling
+	// order. The engine replay keeps the fault-window bookkeeping.
+	for _, ev := range contEvs {
+		switch ev.Kind {
+		case chaos.DiskDegrade:
+			for _, d := range st.disks {
+				d.ScheduleSlowdown(ev.At, ev.Factor)
+			}
+		case chaos.DiskRestore:
+			for _, d := range st.disks {
+				d.ScheduleSlowdown(ev.At, 1)
+			}
+		}
+	}
+	eng := chaos.StartEngine(k, wg, contEvs, st.applyContinuous)
+
 	start := k.Now()
-	var steps atomic.Int64
+	st.lastBoundary = start
 	var lastEnd atomic.Int64
 	consumers := simtime.NewWaitGroup(k)
-	var consumeErr atomic.Value
 	for rank, nd := range nodes {
 		rank, nd := rank, nd
 		for g := range nd.tb.GPUs {
@@ -371,48 +819,60 @@ func run(k *simtime.Virtual, cfg Config, nodeCfgs []hardware.Config, w workload.
 			consumers.Go("dist-consumer", func() {
 				dev := nd.tb.GPUs[g]
 				for {
-					t0 := k.Now()
-					b, err := nd.ld.Next(ctx, g)
-					if errors.Is(err, io.EOF) {
-						// This rank is out of data: release the others.
-						breakAll()
+					v := st.view.Load()
+					if v.done {
 						return
 					}
-					if err != nil {
-						consumeErr.Store(err)
-						breakAll()
-						return
+					act := v.active[rank]
+					if act {
+						t0 := k.Now()
+						b, err := v.loaders[rank].Next(ctx, g)
+						if errors.Is(err, io.EOF) {
+							// This rank is out of data: release the others.
+							breakAll()
+							return
+						}
+						if err != nil {
+							st.consumeErr.Store(err)
+							breakAll()
+							return
+						}
+						nd.dataStall.Add(int64(k.Now() - t0))
+						if err := dev.Train(ctx, w.GPUStep); err != nil {
+							breakAll()
+							return
+						}
+						nd.samples.Add(int64(len(b.Samples)))
+						b.Release()
 					}
-					nd.dataStall.Add(int64(k.Now() - t0))
-					if err := dev.Train(ctx, w.GPUStep); err != nil {
-						breakAll()
-						return
-					}
-					nd.samples.Add(int64(len(b.Samples)))
-					b.Release()
 
 					// Synchronized region: barrier, collective, resume.
+					// Crashed ranks pass through as proxies, training and
+					// reducing nothing.
 					t1 := k.Now()
 					if _, err := arrive.Wait(ctx); err != nil {
 						return // broken: another rank finished
 					}
 					t2 := k.Now()
-					nd.barrierStall.Add(int64(t2 - t1))
-					if g == 0 {
-						if err := ring.AllReduce(ctx, rank, cfg.GradientBytes); err != nil {
-							if !errors.Is(err, simtime.ErrBarrierBroken) {
-								consumeErr.Store(err)
+					if act {
+						nd.barrierStall.Add(int64(t2 - t1))
+						if g == 0 {
+							if err := v.ring.AllReduce(ctx, v.ranks[rank], cfg.GradientBytes); err != nil {
+								if !errors.Is(err, simtime.ErrBarrierBroken) {
+									st.consumeErr.Store(err)
+								}
+								breakAll()
+								return
 							}
-							breakAll()
-							return
 						}
 					}
 					if _, err := resume.Wait(ctx); err != nil {
 						return
 					}
-					nd.networkStall.Add(int64(k.Now() - t2))
-					if rank == 0 && g == 0 {
-						steps.Add(1)
+					if act {
+						nd.networkStall.Add(int64(k.Now() - t2))
+					} else {
+						nd.downtime.Add(int64(k.Now() - t1))
 					}
 					storeMax(&lastEnd, int64(k.Now()))
 				}
@@ -422,13 +882,16 @@ func run(k *simtime.Virtual, cfg Config, nodeCfgs []hardware.Config, w workload.
 	if err := consumers.Wait(ctx); err != nil {
 		return err
 	}
-	for _, nd := range nodes {
-		nd.ld.Stop()
+	eng.Stop()
+	for _, ld := range st.view.Load().loaders {
+		if ld != nil {
+			ld.Stop()
+		}
 	}
 	if err := wg.Wait(ctx); err != nil {
 		return err
 	}
-	if e := consumeErr.Load(); e != nil {
+	if e := st.consumeErr.Load(); e != nil {
 		return e.(error)
 	}
 
@@ -437,8 +900,11 @@ func run(k *simtime.Virtual, cfg Config, nodeCfgs []hardware.Config, w workload.
 		end = k.Now()
 	}
 	rep.TrainTime = end - start
-	rep.Steps = steps.Load()
+	rep.Steps = st.rounds
 	rep.NetworkBytes = fab.BytesMoved()
+	rep.StepP50 = st.hist.QuantileDuration(0.5)
+	rep.StepP99 = st.hist.QuantileDuration(0.99)
+	rep.Faults = append(rep.Faults, st.faults...)
 
 	dur := rep.TrainTime.Seconds()
 	busyAll, gpuCount := 0.0, 0
@@ -462,6 +928,7 @@ func run(k *simtime.Virtual, cfg Config, nodeCfgs []hardware.Config, w workload.
 			DataStall:    time.Duration(nd.dataStall.Load()),
 			BarrierStall: time.Duration(nd.barrierStall.Load()),
 			NetworkStall: time.Duration(nd.networkStall.Load()),
+			Downtime:     time.Duration(nd.downtime.Load()),
 			GPUUtil:      util,
 		})
 		nd.tb.Cache.Recycle()

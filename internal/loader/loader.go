@@ -58,6 +58,13 @@ type Spec struct {
 	Epochs     int
 	Iterations int
 	Seed       uint64
+	// Skip fast-forwards the run past its first Skip batches: the index
+	// source drops that many batches' worth of draws — preserving true
+	// epoch numbering, shuffle order, and global sequence — and the
+	// delivery budget shrinks to the remainder. This is the restore half
+	// of checkpoint/resume: a resumed session consumes exactly the draws
+	// its predecessor never delivered.
+	Skip int
 }
 
 // BatchesPerEpoch returns the number of full batches per epoch (drop-last
@@ -66,16 +73,22 @@ func (s Spec) BatchesPerEpoch() int {
 	return s.Dataset.Len() / s.BatchSize
 }
 
-// TotalBatches returns the delivery budget.
+// TotalBatches returns the delivery budget: the configured bound minus the
+// batches a Skip fast-forwards past.
 func (s Spec) TotalBatches() int {
-	if s.Iterations > 0 {
-		return s.Iterations
+	total := s.Iterations
+	if total <= 0 {
+		e := s.Epochs
+		if e <= 0 {
+			e = 1
+		}
+		total = e * s.BatchesPerEpoch()
 	}
-	e := s.Epochs
-	if e <= 0 {
-		e = 1
+	total -= s.Skip
+	if total < 0 {
+		total = 0
 	}
-	return e * s.BatchesPerEpoch()
+	return total
 }
 
 // TotalSamples returns the number of sample draws the index source emits.
@@ -159,17 +172,24 @@ func (is *IndexSource) Ready() simtime.Source { return is.out }
 func (is *IndexSource) Start(ctx context.Context) {
 	is.env.WG.Go("index-source", func() {
 		defer is.out.Close()
-		total := is.Spec.TotalSamples()
+		// Skip fast-forwards through the leading draws without emitting
+		// them: epoch numbering, shuffle order, and Seq stay those of the
+		// uninterrupted run, so a resumed session is indistinguishable
+		// downstream from one that delivered the skipped prefix itself.
+		skip := int64(is.Spec.Skip) * int64(is.Spec.BatchSize)
+		total := int64(is.Spec.TotalSamples()) + skip
 		perEpoch := is.Spec.BatchesPerEpoch() * is.Spec.BatchSize
 		var seq int64
-		for epoch := 0; seq < int64(total); epoch++ {
+		for epoch := 0; seq < total; epoch++ {
 			// Cached + read-only: every loader of a comparison run draws the
 			// same epoch orders, so the shuffles are shared process-wide.
 			perm := dist.PermutationCached(is.Spec.Seed, uint64(epoch)+1000, is.Spec.Dataset.Len())
-			for i := 0; i < perEpoch && seq < int64(total); i++ {
-				item := IndexItem{Epoch: epoch, Index: perm[i], Seq: seq}
-				if err := is.out.Put(ctx, item); err != nil {
-					return
+			for i := 0; i < perEpoch && seq < total; i++ {
+				if seq >= skip {
+					item := IndexItem{Epoch: epoch, Index: perm[i], Seq: seq}
+					if err := is.out.Put(ctx, item); err != nil {
+						return
+					}
 				}
 				seq++
 			}

@@ -56,12 +56,21 @@ type Fabric struct {
 	links []link // 2 per endpoint: egress = 2e, ingress = 2e+1
 	flows []*flow
 	lastT time.Duration
+	// anchorT is the last reshare instant: link busy integrals advance
+	// analytically from their anchors at the carried rate-sum fixed then.
+	anchorT time.Duration
 	// residuals is water-filling scratch (one slot per link), kept on the
 	// fabric so resharing allocates nothing.
 	residuals []residual
 
-	bytesMoved int64
-	flowsDone  int64
+	// doneBytes counts bytes delivered by retired flows exactly (a
+	// completed flow contributes its full size as an integer, a cancelled
+	// one its analytic partial progress); in-flight progress is added
+	// analytically at query time. Nothing is accumulated per wake segment,
+	// so the counter cannot pick up truncation jitter from scheduling-
+	// dependent intermediate wakes.
+	doneBytes int64
+	flowsDone int64
 
 	// pool recycles flow records (and their selectors) across Transfer
 	// calls: the steady-state transfer path allocates nothing.
@@ -75,18 +84,55 @@ type link struct {
 	// busyIntegral accumulates ∫ (used-bandwidth / bw) dt in full-bandwidth
 	// seconds, converted at the bandwidth in force when the traffic moved —
 	// so a later SetBandwidth cannot retroactively rescale history.
-	// Utilization over a window is Δbusy/Δt.
+	// Utilization over a window is Δbusy/Δt. It is anchored at the last
+	// reshare (anchorB at Fabric.anchorT, advancing at rateSum/bw) and
+	// recomputed analytically, never per wake segment.
 	busyIntegral float64
+	anchorB      float64
+	rateSum      float64 // total rate of flows crossing this link
 }
 
-// flow is one in-flight transfer.
+// flow is one in-flight transfer. Progress is anchored at the last rate
+// change: remaining is recomputed analytically from (anchorRem, anchorT,
+// rate) and the completion instant is the absolute finishAt stamped when
+// the rate was assigned. Anchors move only at reshare points — canonical
+// kernel events — never at spurious wakes, so a flow's trajectory is a
+// pure function of the fabric's event history and two runs of the same
+// script produce bit-identical completion times and byte counts no matter
+// how the OS schedules the tasks in between.
 type flow struct {
-	egress, ingress int     // link indices
-	remaining       float64 // bytes left
-	rate            float64 // current max-min fair rate, bytes/s
-	prevRate        float64 // rate before the current reshare pass
+	egress, ingress int           // link indices
+	size            int64         // original transfer size
+	startT          time.Duration // entry time (sort key)
+	remaining       float64       // bytes left as of Fabric.lastT
+	rate            float64       // current max-min fair rate, bytes/s
+	prevRate        float64       // rate before the current reshare pass
+	anchorRem       float64       // remaining at the last rate change
+	anchorT         time.Duration // time of the last rate change
+	finishAt        time.Duration // absolute completion deadline at rate
 	sel             *simtime.Selector
 	parked          bool // holds an armed deadline for the current rate
+}
+
+// flowLess is the canonical flow order: link pair, then entry time, then
+// size. Flows equal under this key are fully interchangeable — same links,
+// same start, same size means identical rate and progress trajectories —
+// so the order among them cannot affect any observable. Keeping f.flows
+// sorted by this key makes every iteration (water-filling fixes, progress
+// integration) independent of the order tasks happened to reach the
+// fabric's mutex, which is the difference between "deterministic in
+// virtual time" and "deterministic only if the scheduler cooperates".
+func flowLess(a, b *flow) bool {
+	if a.egress != b.egress {
+		return a.egress < b.egress
+	}
+	if a.ingress != b.ingress {
+		return a.ingress < b.ingress
+	}
+	if a.startT != b.startT {
+		return a.startT < b.startT
+	}
+	return a.size < b.size
 }
 
 // residual is per-link water-filling state: capacity and flow count not
@@ -115,6 +161,7 @@ func New(rt simtime.Runtime, cfg Config) *Fabric {
 		links:     make([]link, 2*cfg.Endpoints),
 		residuals: make([]residual, 2*cfg.Endpoints),
 		lastT:     rt.Now(),
+		anchorT:   rt.Now(),
 	}
 	for i := range f.links {
 		f.links[i].bw = cfg.Bandwidth
@@ -125,12 +172,20 @@ func New(rt simtime.Runtime, cfg Config) *Fabric {
 // Endpoints returns the number of NIC-owning endpoints.
 func (f *Fabric) Endpoints() int { return len(f.links) / 2 }
 
+// MinBandwidth is the floor SetBandwidth clamps to, in bytes/s. A zero or
+// negative bandwidth would divide the water-filling rate computation by
+// zero; clamping instead of panicking lets failure scripts express a full
+// link outage (traffic crawls at 1 B/s — effectively parked — and resumes
+// when the link is restored).
+const MinBandwidth = 1.0
+
 // SetBandwidth rescales one endpoint's NIC to bw bytes/s in both
 // directions — the degraded-link failure injection. In-flight flows are
-// re-shared immediately.
+// re-shared immediately. Values below MinBandwidth (including zero and
+// negative: a scripted full link failure) are clamped to MinBandwidth.
 func (f *Fabric) SetBandwidth(endpoint int, bw float64) {
-	if bw <= 0 {
-		panic("netsim: bandwidth must be positive")
+	if bw < MinBandwidth || bw != bw {
+		bw = MinBandwidth
 	}
 	f.mu.Lock()
 	f.advanceLocked()
@@ -141,12 +196,16 @@ func (f *Fabric) SetBandwidth(endpoint int, bw float64) {
 }
 
 // BytesMoved returns the cumulative bytes delivered by completed and
-// in-progress transfers (integrated, not counted at completion).
+// in-progress transfers (in-flight progress included analytically).
 func (f *Fabric) BytesMoved() int64 {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.advanceLocked()
-	return f.bytesMoved
+	total := f.doneBytes
+	for _, fl := range f.flows {
+		total += fl.size - int64(fl.remaining)
+	}
+	return total
 }
 
 // FlowsCompleted returns how many transfers have retired (finished or
@@ -193,13 +252,19 @@ func (f *Fabric) Transfer(ctx context.Context, src, dst int, n int64) error {
 		fl = &flow{sel: simtime.NewSelector(f.rt)}
 	}
 	fl.egress, fl.ingress = 2*src, 2*dst+1
+	fl.size = n
 	fl.remaining = float64(n)
+	fl.rate = 0
+	fl.finishAt = math.MaxInt64
 
 	f.mu.Lock()
 	f.advanceLocked()
+	fl.startT = f.lastT
+	fl.anchorRem = fl.remaining
+	fl.anchorT = f.lastT
 	f.links[fl.egress].n++
 	f.links[fl.ingress].n++
-	f.flows = append(f.flows, fl)
+	f.insertFlowLocked(fl)
 	f.reshareLocked()
 
 	for {
@@ -208,12 +273,15 @@ func (f *Fabric) Transfer(ctx context.Context, src, dst int, n int64) error {
 			f.pool.Put(fl)
 			return nil
 		}
-		// Exact completion deadline at the current rate. A rate drop while
-		// parked only makes this deadline early — the flow re-integrates
-		// and re-parks for the remainder; a rate rise wakes it through
-		// reshareLocked. Reset under f.mu so wakes are serialized with the
-		// cycle boundary.
-		deadline := time.Duration(fl.remaining/fl.rate*float64(time.Second)) + time.Nanosecond
+		// Park until the absolute completion instant stamped at the last
+		// rate change. A rate drop while parked only makes this deadline
+		// early — the flow re-integrates and re-parks for the remainder; a
+		// rate rise wakes it through reshareLocked. Reset under f.mu so
+		// wakes are serialized with the cycle boundary.
+		deadline := fl.finishAt - f.lastT
+		if deadline <= 0 {
+			deadline = time.Nanosecond
+		}
 		fl.parked = true
 		fl.sel.Reset()
 		f.mu.Unlock()
@@ -230,15 +298,31 @@ func (f *Fabric) Transfer(ctx context.Context, src, dst int, n int64) error {
 	}
 }
 
-// exitLocked removes fl from the fabric and re-shares the survivors.
-// Unlocks f.mu.
+// insertFlowLocked places fl at its canonical position so f.flows stays
+// sorted under flowLess regardless of mutex-acquisition order.
+func (f *Fabric) insertFlowLocked(fl *flow) {
+	i := len(f.flows)
+	for j, e := range f.flows {
+		if flowLess(fl, e) {
+			i = j
+			break
+		}
+	}
+	f.flows = append(f.flows, nil)
+	copy(f.flows[i+1:], f.flows[i:])
+	f.flows[i] = fl
+}
+
+// exitLocked removes fl from the fabric (preserving the canonical order of
+// the survivors) and re-shares them. Unlocks f.mu.
 func (f *Fabric) exitLocked(fl *flow) {
+	f.doneBytes += fl.size - int64(fl.remaining)
 	f.links[fl.egress].n--
 	f.links[fl.ingress].n--
 	for i, e := range f.flows {
 		if e == fl {
+			copy(f.flows[i:], f.flows[i+1:])
 			last := len(f.flows) - 1
-			f.flows[i] = f.flows[last]
 			f.flows[last] = nil
 			f.flows = f.flows[:last]
 			break
@@ -250,37 +334,54 @@ func (f *Fabric) exitLocked(fl *flow) {
 }
 
 // advanceLocked integrates every in-flight flow's progress (and each
-// link's carried bytes) up to now. Rates are constant between events, so
-// the integration is exact.
+// link's carried bytes) up to now. Progress is recomputed analytically
+// from the flow's rate-change anchor rather than accumulated per segment,
+// so the value of remaining at any instant — and therefore every
+// completion time — does not depend on how many intermediate wakes
+// happened to observe the flow along the way.
 func (f *Fabric) advanceLocked() {
 	now := f.rt.Now()
-	dt := (now - f.lastT).Seconds()
-	f.lastT = now
-	if dt <= 0 || len(f.flows) == 0 {
+	if now <= f.lastT {
 		return
 	}
-	for _, fl := range f.flows {
-		moved := fl.rate * dt
-		if moved > fl.remaining {
-			moved = fl.remaining
+	el := (now - f.anchorT).Seconds()
+	for i := range f.links {
+		if ln := &f.links[i]; ln.rateSum > 0 {
+			ln.busyIntegral = ln.anchorB + ln.rateSum/ln.bw*el
 		}
-		fl.remaining -= moved
-		f.bytesMoved += int64(moved)
-		eg, in := &f.links[fl.egress], &f.links[fl.ingress]
-		eg.busyIntegral += moved / eg.bw
-		in.busyIntegral += moved / in.bw
 	}
+	for _, fl := range f.flows {
+		if now >= fl.finishAt {
+			fl.remaining = 0
+			continue
+		}
+		rem := fl.anchorRem - fl.rate*(now-fl.anchorT).Seconds()
+		if rem < 0 {
+			rem = 0
+		}
+		fl.remaining = rem
+	}
+	f.lastT = now
 }
 
 // reshareLocked recomputes max-min fair rates by water-filling: repeatedly
 // find the most-constrained link (smallest per-flow fair share among its
 // unfixed flows), fix its flows at that share, subtract their bandwidth,
 // and continue until every flow has a rate. Links are scanned in index
-// order, so the result is deterministic. Flows whose armed deadline became
-// stale (rate rose, or the flow was fixed by a different bottleneck than
-// last time) are woken to re-park; a rate drop is left to the armed
-// deadline, which fires early and re-integrates exactly.
+// order and flows in their canonical sorted order, so the result —
+// including the float rounding of the residual-capacity updates — is
+// deterministic. Each flow whose rate changed is re-anchored here: its
+// progress and absolute completion instant are restamped from the new
+// rate, making reshare points the only places a flow's trajectory can
+// bend. Flows whose armed deadline became stale (rate rose) are woken to
+// re-park; a rate drop is left to the armed deadline, which fires early
+// and re-integrates exactly.
 func (f *Fabric) reshareLocked() {
+	for i := range f.links {
+		f.links[i].anchorB = f.links[i].busyIntegral
+		f.links[i].rateSum = 0
+	}
+	f.anchorT = f.lastT
 	if len(f.flows) == 0 {
 		return
 	}
@@ -321,7 +422,19 @@ func (f *Fabric) reshareLocked() {
 			}
 		}
 	}
+	now := f.lastT
 	for _, fl := range f.flows {
+		f.links[fl.egress].rateSum += fl.rate
+		f.links[fl.ingress].rateSum += fl.rate
+		if fl.rate != fl.prevRate {
+			// Rate changes are the canonical anchor points: progress and
+			// the absolute completion instant are restamped here and
+			// nowhere else, so both are pure functions of the fabric's
+			// event history.
+			fl.anchorRem = fl.remaining
+			fl.anchorT = now
+			fl.finishAt = now + time.Duration(fl.anchorRem/fl.rate*float64(time.Second)) + time.Nanosecond
+		}
 		if fl.parked && fl.rate > fl.prevRate {
 			// The armed deadline is now too late; wake the flow to re-park
 			// at the higher rate. A rate drop is left alone — the armed

@@ -156,6 +156,37 @@ func TestSetBandwidthMidFlight(t *testing.T) {
 	})
 }
 
+func TestSetBandwidthClampsToFloor(t *testing.T) {
+	// A scripted full link failure passes bw=0 (and a buggy script might
+	// pass negative or NaN): instead of dividing the water-filling rates
+	// by zero, the NIC clamps to MinBandwidth. In-flight traffic crawls at
+	// the floor and completes normally once the link is restored.
+	k := simtime.NewVirtual()
+	k.Run(func() {
+		f := testFabric(k, 2)
+		wg := simtime.NewWaitGroup(k)
+		var done atomic.Int64
+		wg.Go("flow", func() {
+			_ = f.Transfer(context.Background(), 0, 1, 2e9)
+			done.Store(int64(k.Now()))
+		})
+		wg.Go("outage", func() {
+			_ = k.Sleep(context.Background(), time.Second)
+			for _, bw := range []float64{0, -5, math.NaN()} {
+				f.SetBandwidth(1, bw) // must not panic or wedge the rates
+			}
+			_ = k.Sleep(context.Background(), 2*time.Second)
+			f.SetBandwidth(1, 1e9)
+		})
+		_ = wg.Wait(context.Background())
+		// 1 GB moved before the outage; ~2s dead (a few bytes at 1 B/s);
+		// the remaining ~1 GB at 1 GB/s after restore: finish ≈ t=4s.
+		if got := time.Duration(done.Load()).Seconds(); math.Abs(got-4) > 0.02 {
+			t.Fatalf("flow finished at %.3fs, want ≈4s around a full outage", got)
+		}
+	})
+}
+
 func TestRingAllReduceVolumeAndTiming(t *testing.T) {
 	k := simtime.NewVirtual()
 	k.Run(func() {

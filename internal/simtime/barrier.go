@@ -10,8 +10,9 @@ import (
 // Distributed data-parallel training uses it as the per-step gradient
 // synchronization point.
 type Barrier struct {
-	rt Runtime
-	n  int
+	rt        Runtime
+	n         int
+	onRelease func(gen uint64)
 
 	mu      sync.Mutex
 	arrived int
@@ -26,6 +27,20 @@ func NewBarrier(rt Runtime, n int) *Barrier {
 		panic("simtime: barrier size must be positive")
 	}
 	return &Barrier{rt: rt, n: n}
+}
+
+// NewBarrierFunc returns a barrier whose fn runs once per completed round,
+// in the releasing (last-arriving) participant, after the barrier has reset
+// for the next round but before any waiter wakes. Every participant is
+// parked or releasing at that instant, so fn observes — and may mutate —
+// shared state with no participant mid-step: the hook distributed training
+// uses to apply membership changes (node crash/rejoin) at a quiescent
+// point. fn receives the generation that completed. It must not call Wait
+// on the same barrier.
+func NewBarrierFunc(rt Runtime, n int, fn func(gen uint64)) *Barrier {
+	b := NewBarrier(rt, n)
+	b.onRelease = fn
+	return b
 }
 
 // Wait blocks until all n participants have arrived. It returns the round
@@ -46,6 +61,9 @@ func (b *Barrier) Wait(ctx context.Context) (uint64, error) {
 		ws := b.waiters
 		b.waiters = nil
 		b.mu.Unlock()
+		if b.onRelease != nil {
+			b.onRelease(gen)
+		}
 		for _, w := range ws {
 			w.Wake()
 		}
@@ -57,8 +75,13 @@ func (b *Barrier) Wait(ctx context.Context) (uint64, error) {
 	if err := w.Wait(ctx); err != nil {
 		return 0, err
 	}
+	// Report broken only if this waiter's generation never completed
+	// (release advances gen before waking). A waiter woken by a normal
+	// release must return success even when a participant breaks the
+	// barrier immediately afterwards — otherwise whether the last completed
+	// round counts would depend on goroutine scheduling, not virtual time.
 	b.mu.Lock()
-	broken := b.broken
+	broken := b.broken && b.gen == gen
 	b.mu.Unlock()
 	if broken {
 		return 0, ErrBarrierBroken

@@ -87,3 +87,43 @@ func TestBarrierBreakReleasesWaiters(t *testing.T) {
 		}
 	})
 }
+
+func TestBarrierFuncRunsBeforeWaitersWake(t *testing.T) {
+	// The release hook must observe a quiescent round: it runs in the last
+	// arriver after the barrier resets, and every other participant must
+	// see its effects when it wakes.
+	k := NewVirtual()
+	k.Run(func() {
+		var rounds atomic.Int64
+		var gens []uint64
+		shared := 0
+		b := NewBarrierFunc(k, 3, func(gen uint64) {
+			gens = append(gens, gen)
+			shared++
+			rounds.Add(1)
+		})
+		wg := NewWaitGroup(k)
+		for i := 0; i < 3; i++ {
+			i := i
+			wg.Go("p", func() {
+				for round := 1; round <= 2; round++ {
+					_ = k.Sleep(context.Background(), time.Duration(i+1)*time.Second)
+					if _, err := b.Wait(context.Background()); err != nil {
+						t.Errorf("Wait: %v", err)
+						return
+					}
+					if got := int(rounds.Load()); got != round {
+						t.Errorf("woke in round %d with hook count %d", round, got)
+					}
+					if shared != round {
+						t.Errorf("round %d: hook effect not visible (shared=%d)", round, shared)
+					}
+				}
+			})
+		}
+		_ = wg.Wait(context.Background())
+		if len(gens) != 2 || gens[0] != 0 || gens[1] != 1 {
+			t.Fatalf("hook generations = %v, want [0 1]", gens)
+		}
+	})
+}

@@ -138,6 +138,107 @@ func (s Summary) String() string {
 		s.Avg, s.Med, s.P75, s.P90, s.Min, s.Max, s.Std)
 }
 
+// LogHist is a log-bucketed latency histogram: fixed memory, O(1) inserts,
+// and quantiles with bounded relative error — the same bucket geometry the
+// loader profiler uses for its per-sample cost window, reused here for SLO
+// metrics (p99 step time under churn). Counts commute, so concurrent
+// writers adding under a caller-held lock — or a deterministic schedule —
+// produce identical quantiles regardless of insertion order.
+type LogHist struct {
+	counts []int64
+	n      int64
+}
+
+// Bucket geometry: logHistBuckets spanning [logHistMin, logHistMax]
+// seconds. 100µs..1000s over 1024 buckets gives ~1.6% relative spacing.
+const (
+	logHistBuckets = 1024
+	logHistMin     = 100e-6
+	logHistMax     = 1000.0
+)
+
+// NewLogHist returns an empty histogram.
+func NewLogHist() *LogHist {
+	return &LogHist{counts: make([]int64, logHistBuckets)}
+}
+
+// logHistBucket maps a duration in seconds to its bucket index.
+func logHistBucket(sec float64) int {
+	if sec <= logHistMin {
+		return 0
+	}
+	if sec >= logHistMax {
+		return logHistBuckets - 1
+	}
+	frac := math.Log(sec/logHistMin) / math.Log(logHistMax/logHistMin)
+	b := int(frac * (logHistBuckets - 1))
+	if b < 0 {
+		b = 0
+	}
+	if b >= logHistBuckets {
+		b = logHistBuckets - 1
+	}
+	return b
+}
+
+// logHistValue returns the representative (lower-edge) value of bucket b.
+func logHistValue(b int) float64 {
+	frac := float64(b) / (logHistBuckets - 1)
+	return logHistMin * math.Pow(logHistMax/logHistMin, frac)
+}
+
+// Add records one observation (a duration in seconds).
+func (h *LogHist) Add(sec float64) {
+	h.counts[logHistBucket(sec)]++
+	h.n++
+}
+
+// AddDuration records one observation.
+func (h *LogHist) AddDuration(d time.Duration) { h.Add(d.Seconds()) }
+
+// N returns the number of observations.
+func (h *LogHist) N() int64 { return h.n }
+
+// Quantile returns the q-th quantile (q in [0,1]) in seconds,
+// interpolating within the landing bucket. It returns 0 when empty.
+func (h *LogHist) Quantile(q float64) float64 {
+	if h == nil || h.n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(h.n)
+	cum := 0.0
+	for b, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if next >= target {
+			lo, hi := logHistValue(b), logHistValue(b+1)
+			if b == logHistBuckets-1 {
+				hi = lo
+			}
+			frac := 0.0
+			if c > 0 {
+				frac = (target - cum) / float64(c)
+			}
+			return lo + (hi-lo)*frac
+		}
+		cum = next
+	}
+	return logHistValue(logHistBuckets - 1)
+}
+
+// QuantileDuration is Quantile as a time.Duration.
+func (h *LogHist) QuantileDuration(q float64) time.Duration {
+	return time.Duration(h.Quantile(q) * float64(time.Second))
+}
+
 // EWMA is an exponentially weighted moving average. The zero value with a
 // zero alpha is invalid; use NewEWMA.
 type EWMA struct {

@@ -152,3 +152,48 @@ func TestQuickWelfordMatchesNaive(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestLogHistQuantiles(t *testing.T) {
+	h := NewLogHist()
+	// 90 fast steps at 10ms, ten slow at 1s: p50 ≈ 10ms, p99 within a
+	// bucket of 1s (log-bucket quantiles carry ~2% relative error).
+	for i := 0; i < 90; i++ {
+		h.Add(0.010)
+	}
+	for i := 0; i < 10; i++ {
+		h.Add(1.0)
+	}
+	if h.N() != 100 {
+		t.Fatalf("N = %d", h.N())
+	}
+	if p50 := h.Quantile(0.5); math.Abs(p50-0.010)/0.010 > 0.05 {
+		t.Fatalf("p50 = %v, want ≈10ms", p50)
+	}
+	if p99 := h.Quantile(0.99); math.Abs(p99-1.0) > 0.05 {
+		t.Fatalf("p99 = %v, want ≈1s", p99)
+	}
+	// Out-of-range observations clamp to the edge buckets.
+	h2 := NewLogHist()
+	h2.Add(1e-9)
+	h2.Add(1e9)
+	if h2.Quantile(0) <= 0 || h2.Quantile(1) < 999 {
+		t.Fatalf("edge quantiles = %v, %v", h2.Quantile(0), h2.Quantile(1))
+	}
+	// Insertion order never matters: counts commute.
+	a, b := NewLogHist(), NewLogHist()
+	vals := []float64{0.5, 0.01, 0.2, 0.01, 3}
+	for i, v := range vals {
+		a.Add(v)
+		b.Add(vals[len(vals)-1-i])
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+		if a.Quantile(q) != b.Quantile(q) {
+			t.Fatalf("order-dependent quantile at q=%g", q)
+		}
+	}
+	// Empty and nil are zero.
+	var nilH *LogHist
+	if nilH.Quantile(0.99) != 0 || NewLogHist().QuantileDuration(0.5) != 0 {
+		t.Fatal("empty/nil quantile not zero")
+	}
+}

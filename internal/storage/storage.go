@@ -23,13 +23,27 @@ import (
 // (Lustre-like filesystems serve several clients at once; an NVMe drive
 // saturates with few).
 type Disk struct {
+	rt       simtime.Runtime
 	dev      *device.Device
 	streamBW float64 // bytes per second per stream
 
 	mu       sync.Mutex
 	slowdown float64 // ≥1; failure-injection multiplier on read time
+	// sched is a pre-installed degradation timeline, sorted by instant.
+	// Once the clock reaches its first point it overrides the live
+	// slowdown: the factor a read sees is then a pure function of the
+	// read's start time, so a reader racing the scripted transition
+	// instant resolves identically no matter which side the scheduler
+	// runs first — live SetSlowdown mutation cannot promise that.
+	sched []slowdownPoint
 
 	bytesRead atomic.Int64
+}
+
+// slowdownPoint is one step of a scheduled degradation timeline.
+type slowdownPoint struct {
+	at time.Duration
+	f  float64
 }
 
 // NewDisk returns a disk with the given aggregate bandwidth split across
@@ -39,6 +53,7 @@ func NewDisk(rt simtime.Runtime, name string, aggregateBW float64, parallelism f
 		parallelism = 1
 	}
 	return &Disk{
+		rt:       rt,
 		dev:      device.New(rt, name, parallelism),
 		streamBW: aggregateBW / parallelism,
 		slowdown: 1,
@@ -52,6 +67,15 @@ func (d *Disk) Read(ctx context.Context, n int64) error {
 	}
 	d.mu.Lock()
 	f := d.slowdown
+	if len(d.sched) > 0 {
+		now := d.rt.Now()
+		for i := len(d.sched) - 1; i >= 0; i-- {
+			if d.sched[i].at <= now {
+				f = d.sched[i].f
+				break
+			}
+		}
+	}
 	d.mu.Unlock()
 	if err := d.dev.Run(ctx, time.Duration(float64(n)*f/d.streamBW*float64(time.Second))); err != nil {
 		return err
@@ -71,6 +95,27 @@ func (d *Disk) SetSlowdown(factor float64) {
 	d.mu.Lock()
 	d.slowdown = factor
 	d.mu.Unlock()
+}
+
+// ScheduleSlowdown pre-installs a degradation step: reads starting at or
+// after `at` take factor× longer, until a later scheduled point. Install
+// the whole timeline before the clock reaches its first point — scripted
+// fault injection uses this instead of SetSlowdown so that a read racing
+// the transition instant itself still resolves deterministically (the
+// factor is a pure function of the read's start time).
+func (d *Disk) ScheduleSlowdown(at time.Duration, factor float64) {
+	if factor < 1 {
+		factor = 1
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	i := len(d.sched)
+	for i > 0 && d.sched[i-1].at > at {
+		i--
+	}
+	d.sched = append(d.sched, slowdownPoint{})
+	copy(d.sched[i+1:], d.sched[i:])
+	d.sched[i] = slowdownPoint{at: at, f: factor}
 }
 
 // BytesRead returns the cumulative bytes transferred (completed reads).

@@ -11,10 +11,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"github.com/minatoloader/minato/internal/chaos"
 	"github.com/minatoloader/minato/internal/data"
 	"github.com/minatoloader/minato/internal/hardware"
 	"github.com/minatoloader/minato/internal/loader"
@@ -55,6 +57,11 @@ type Params struct {
 	// material for pipeline forensics. Costs memory proportional to the
 	// sample count.
 	TraceSamples bool
+	// Chaos is an optional fault-injection script replayed against the
+	// session: worker stalls, disk brownouts, preemption/resume. Callers
+	// validate it for a single-machine run (Script.Validate(0)) before
+	// starting; the zero value injects nothing.
+	Chaos chaos.Script
 }
 
 func (p *Params) fillDefaults() {
@@ -133,6 +140,31 @@ type Report struct {
 	// Trace holds per-sample timelines when Params.TraceSamples is set,
 	// in delivery order.
 	Trace []SampleTrace
+
+	// StepP50 and StepP99 are per-GPU batch-completion interval quantiles
+	// from a log-bucketed histogram — the SLO view of step-time jitter
+	// under faults. Zero when no batch completed.
+	StepP50 time.Duration
+	StepP99 time.Duration
+	// PreemptStall is the total time consumers spent parked by Preempt
+	// events (across GPUs).
+	PreemptStall time.Duration
+	// Faults records each chaos event window the session absorbed, in
+	// application order. A Resume fault's Recovery is the time from the
+	// resume to the next completed batch.
+	Faults []chaos.FaultStat
+}
+
+// RecoveryTime returns the largest fault recovery in the report (zero when
+// nothing needed recovering).
+func (r *Report) RecoveryTime() time.Duration {
+	var max time.Duration
+	for _, f := range r.Faults {
+		if f.Recovery > max {
+			max = f.Recovery
+		}
+	}
+	return max
 }
 
 // WriteTraceCSV exports the sample trace for offline analysis.
@@ -260,6 +292,8 @@ func RunEnv(env *loader.Env, disk *storage.Disk, cache *storage.PageCache, w wor
 		return nil, err
 	}
 
+	cst := StartChaos(rt, env, disk, wg, p.Chaos, len(env.GPUs))
+
 	// Per-GPU consumers.
 	consumers := simtime.NewWaitGroup(rt)
 	var consumerErr atomic.Value
@@ -273,6 +307,12 @@ func RunEnv(env *loader.Env, disk *storage.Disk, cache *storage.PageCache, w wor
 			dev := env.GPUs[g]
 			sinceValidation := 0
 			for {
+				// Preemption gate: park here while the session is paused;
+				// a terminal preemption ends the stream with ErrPreempted.
+				if err := cst.Gate(ctx); err != nil {
+					consumerErr.Store(err)
+					return
+				}
 				b, err := ld.Next(ctx, g)
 				if errors.Is(err, io.EOF) {
 					return
@@ -295,7 +335,9 @@ func RunEnv(env *loader.Env, disk *storage.Disk, cache *storage.PageCache, w wor
 				atomic.AddInt64(&rep.Batches, 1)
 				atomic.AddInt64(&rep.Samples, int64(len(b.Samples)))
 				trainedBytes.Add(b.Bytes())
-				storeMax(&lastEnd, int64(rt.Now()))
+				stepEnd := rt.Now()
+				storeMax(&lastEnd, int64(stepEnd))
+				cst.NoteStep(g, stepEnd)
 
 				if comp != nil {
 					comp.record(b)
@@ -348,11 +390,13 @@ func RunEnv(env *loader.Env, disk *storage.Disk, cache *storage.PageCache, w wor
 	rep.TrainTime = end - start
 	rep.TrainedBytes = trainedBytes.Load()
 
+	cst.Stop()
 	collector.Stop()
 	ld.Stop()
 	if err := wg.Wait(ctx); err != nil {
 		return nil, err
 	}
+	cst.Finish(rep)
 	if e := consumerErr.Load(); e != nil {
 		return nil, e.(error)
 	}
@@ -423,6 +467,192 @@ func Simulate(cfg hardware.Config, w workload.Workload, f Factory, p Params) (*R
 	// so the next session starts warm.
 	tb.Cache.Recycle()
 	return rep, err
+}
+
+// ChaosState replays a single-machine fault script against a running
+// session and keeps the fault-window bookkeeping for the report. A zero
+// script costs one allocation and leaves the consumer fast path with a
+// nil-pauser check and a histogram insert per batch. The trainer drives it
+// internally; loading sessions (minato.Session.Batches) drive it from the
+// facade through StartChaos/Gate/NoteStep/Stop/Finish.
+type ChaosState struct {
+	rt   simtime.Runtime
+	env  *loader.Env
+	disk *storage.Disk
+	wg   *simtime.WaitGroup
+
+	pauser *chaos.Pauser
+	eng    *chaos.Engine
+
+	preemptStall atomic.Int64
+
+	mu         sync.Mutex
+	hist       *stats.LogHist
+	lastStep   []time.Duration
+	faults     []chaos.FaultStat
+	open       map[chaos.Kind]int
+	recPending int    // fault index awaiting the first post-resume batch
+	terminal   []bool // per-Preempt: no Resume scheduled after it
+	termIdx    int
+}
+
+// StartChaos launches the event replay task (none for an empty script).
+// The script must already be validated for a single-machine run
+// (Script.Validate(0)); gpus sizes the per-consumer step-interval
+// tracking.
+func StartChaos(rt simtime.Runtime, env *loader.Env, disk *storage.Disk, wg *simtime.WaitGroup, script chaos.Script, gpus int) *ChaosState {
+	c := &ChaosState{
+		rt: rt, env: env, disk: disk, wg: wg,
+		hist: stats.NewLogHist(), lastStep: make([]time.Duration, gpus),
+		open: map[chaos.Kind]int{}, recPending: -1,
+	}
+	now := rt.Now()
+	for i := range c.lastStep {
+		c.lastStep[i] = now
+	}
+	if script.Empty() {
+		return c
+	}
+	evs := script.Sorted()
+	for i, ev := range evs {
+		if ev.Kind != chaos.Preempt {
+			continue
+		}
+		term := true
+		for _, later := range evs[i+1:] {
+			if later.Kind == chaos.Resume {
+				term = false
+				break
+			}
+		}
+		c.terminal = append(c.terminal, term)
+	}
+	// Disk degradation is pre-installed as a timeline rather than applied
+	// live from the engine task: a read racing the scripted instant then
+	// sees the factor as a pure function of its own start time, not of
+	// same-instant scheduling order. The engine still replays the events
+	// for the fault-window bookkeeping.
+	if c.disk != nil {
+		for _, ev := range evs {
+			switch ev.Kind {
+			case chaos.DiskDegrade:
+				c.disk.ScheduleSlowdown(ev.At, ev.Factor)
+			case chaos.DiskRestore:
+				c.disk.ScheduleSlowdown(ev.At, 1)
+			}
+		}
+	}
+	c.pauser = chaos.NewPauser(rt)
+	c.eng = chaos.StartEngine(rt, wg, evs, c.apply)
+	return c
+}
+
+// apply runs in the engine's task at each event's scripted time.
+func (c *ChaosState) apply(ev chaos.Event) {
+	now := c.rt.Now()
+	switch ev.Kind {
+	case chaos.DiskDegrade:
+		// The slowdown itself was scheduled at StartChaos; only the fault
+		// window is recorded here.
+		c.openFault(ev, now)
+	case chaos.DiskRestore:
+		c.closeFault(chaos.DiskDegrade, now)
+	case chaos.WorkerStall:
+		c.openFault(ev, now)
+		n := int(math.Ceil(ev.Factor * c.env.CPU.Capacity()))
+		if n < 1 {
+			n = 1
+		}
+		hogs := simtime.NewWaitGroup(c.rt)
+		for i := 0; i < n; i++ {
+			hogs.Go("chaos-hog", func() {
+				_ = c.env.CPU.Run(context.Background(), ev.Duration)
+			})
+		}
+		c.wg.Go("chaos-hog-closer", func() {
+			_ = hogs.Wait(context.Background())
+			c.closeFault(chaos.WorkerStall, c.rt.Now())
+		})
+	case chaos.Preempt:
+		term := false
+		c.mu.Lock()
+		if c.termIdx < len(c.terminal) {
+			term = c.terminal[c.termIdx]
+			c.termIdx++
+		}
+		c.mu.Unlock()
+		c.openFault(ev, now)
+		c.pauser.Pause(term)
+	case chaos.Resume:
+		c.pauser.Resume()
+		c.closeFault(chaos.Preempt, now)
+		c.mu.Lock()
+		c.faults = append(c.faults, chaos.FaultStat{Event: ev, AppliedAt: now})
+		c.recPending = len(c.faults) - 1
+		c.mu.Unlock()
+	}
+}
+
+func (c *ChaosState) openFault(ev chaos.Event, now time.Duration) {
+	c.mu.Lock()
+	c.faults = append(c.faults, chaos.FaultStat{Event: ev, AppliedAt: now})
+	c.open[ev.Kind] = len(c.faults) - 1
+	c.mu.Unlock()
+}
+
+func (c *ChaosState) closeFault(kind chaos.Kind, now time.Duration) {
+	c.mu.Lock()
+	if i, ok := c.open[kind]; ok {
+		c.faults[i].ClearedAt = now
+		if kind == chaos.Preempt {
+			// The pause window itself is the stall: every consumer is
+			// parked for its full extent.
+			c.faults[i].StallDuring = now - c.faults[i].AppliedAt
+		}
+		delete(c.open, kind)
+	}
+	c.mu.Unlock()
+}
+
+// noteStep records a consumer's batch-completion interval and resolves a
+// pending post-resume recovery measurement.
+func (c *ChaosState) NoteStep(g int, now time.Duration) {
+	c.mu.Lock()
+	c.hist.AddDuration(now - c.lastStep[g])
+	c.lastStep[g] = now
+	if c.recPending >= 0 {
+		c.faults[c.recPending].Recovery = now - c.faults[c.recPending].AppliedAt
+		c.recPending = -1
+	}
+	c.mu.Unlock()
+}
+
+// Stop halts the replay; pending events are discarded. Call before
+// waiting out the session's background tasks, so a script outliving the
+// run cannot append trailing fault records.
+func (c *ChaosState) Stop() { c.eng.Stop() }
+
+// Gate parks the calling consumer while the session is preempted,
+// accumulating the preemption stall; a terminal preemption (no resume
+// scheduled) returns ErrPreempted. Consumers call it at every batch
+// boundary.
+func (c *ChaosState) Gate(ctx context.Context) error {
+	st, err := c.pauser.Wait(ctx)
+	if st > 0 {
+		c.preemptStall.Add(int64(st))
+	}
+	return err
+}
+
+// Finish copies the SLO metrics into the report. Call after the session's
+// background tasks (hog closers included) have drained.
+func (c *ChaosState) Finish(rep *Report) {
+	rep.StepP50 = c.hist.QuantileDuration(0.5)
+	rep.StepP99 = c.hist.QuantileDuration(0.99)
+	rep.PreemptStall = time.Duration(c.preemptStall.Load())
+	c.mu.Lock()
+	rep.Faults = append([]chaos.FaultStat(nil), c.faults...)
+	c.mu.Unlock()
 }
 
 // composition tracks Fig 11's batch statistics.

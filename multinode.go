@@ -43,15 +43,27 @@ type Topology struct {
 	// shared remote store reached over the fabric.
 	LocalStore bool
 
-	// StragglerFactor > 1 divides StragglerNode's CPU cores — the
-	// input-stalled-node scenario.
+	// Stragglers divides each listed node's CPU cores by its factor — the
+	// input-stalled-node scenario, one entry per afflicted node.
+	Stragglers []NodeFault
+	// Degraded divides each listed node's NIC bandwidth by its factor —
+	// the flaky-link scenario, one entry per afflicted node.
+	Degraded []NodeFault
+
+	// StragglerFactor > 1 divides StragglerNode's CPU cores: sugar for a
+	// single Stragglers entry, kept for one-fault configurations.
 	StragglerNode   int
 	StragglerFactor float64
-	// DegradedFactor > 1 divides DegradedNode's NIC bandwidth — the
-	// flaky-link scenario.
+	// DegradedFactor > 1 divides DegradedNode's NIC bandwidth: sugar for a
+	// single Degraded entry.
 	DegradedNode   int
 	DegradedFactor float64
 }
+
+// NodeFault names one node and its degradation factor — the element of
+// Topology.Stragglers and Topology.Degraded. A factor of 8 leaves the node
+// an eighth of the resource.
+type NodeFault = distributed.NodeFault
 
 // MultiNodeReport is the outcome of a TrainMultiNode run: whole-cluster
 // timings plus per-node stall attribution (own input, the barrier, the
@@ -81,6 +93,8 @@ func (t Topology) config(hw *HardwareConfig) (distributed.Config, error) {
 	// through, then lay the topology's explicit choices over them.
 	cfg := distributed.DefaultConfig(t.Nodes)
 	cfg.RemoteStore = !t.LocalStore
+	cfg.Stragglers = append([]NodeFault(nil), t.Stragglers...)
+	cfg.Degraded = append([]NodeFault(nil), t.Degraded...)
 	cfg.StragglerNode, cfg.StragglerFactor = t.StragglerNode, t.StragglerFactor
 	cfg.DegradedNode, cfg.DegradedFactor = t.DegradedNode, t.DegradedFactor
 	if cfg.Nodes == 0 && len(t.Mix) == 0 {
@@ -117,6 +131,22 @@ func (t Topology) config(hw *HardwareConfig) (distributed.Config, error) {
 	case t.DegradedFactor < 0 || (t.DegradedFactor > 0 && t.DegradedFactor < 1):
 		return cfg, configErr("WithTopology", fmt.Sprintf("degraded factor %g must be ≥ 1", t.DegradedFactor))
 	}
+	for _, f := range t.Stragglers {
+		switch {
+		case f.Factor < 1:
+			return cfg, configErr("WithTopology", fmt.Sprintf("straggler factor %g must be ≥ 1", f.Factor))
+		case f.Node < 0 || f.Node >= cfg.Nodes:
+			return cfg, configErr("WithTopology", fmt.Sprintf("straggler node %d outside cluster of %d", f.Node, cfg.Nodes))
+		}
+	}
+	for _, f := range t.Degraded {
+		switch {
+		case f.Factor < 1:
+			return cfg, configErr("WithTopology", fmt.Sprintf("degraded factor %g must be ≥ 1", f.Factor))
+		case f.Node < 0 || f.Node >= cfg.Nodes:
+			return cfg, configErr("WithTopology", fmt.Sprintf("degraded node %d outside cluster of %d", f.Node, cfg.Nodes))
+		}
+	}
 	return cfg, nil
 }
 
@@ -137,8 +167,11 @@ func (t Topology) config(hw *HardwareConfig) (distributed.Config, error) {
 //
 // Accepted options: WithNodes/WithTopology (the cluster shape), WithLoader
 // and friends, WithHardware (sizes each node), WithGPUs (per-node GPU
-// count), WithIterations/WithEpochs, WithBatchSize, WithSeed. The run is
-// deterministic: identical options reproduce the report bit-for-bit.
+// count), WithIterations/WithEpochs, WithBatchSize, WithSeed, and
+// WithChaos/WithChaosScenario (scripted node crashes, link flaps, disk
+// brownouts, worker stalls — see ChaosScript). The run is deterministic:
+// identical options — including the chaos script — reproduce the report
+// bit-for-bit.
 func TrainMultiNode(workloadName string, opts ...Option) (*MultiNodeReport, error) {
 	o := buildOptions(opts)
 	w, ok := workload.ByName(workloadName, o.seed)
@@ -208,5 +241,10 @@ func trainMultiNode(w Workload, o *sessionOptions) (*MultiNodeReport, error) {
 		return nil, configErr("WithBatchSize", fmt.Sprintf("batch size %d exceeds dataset %q size %d",
 			w.BatchSize, w.Dataset.Name(), w.Dataset.Len()))
 	}
+	script, err := o.resolveChaos(cfg.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Script = script
 	return distributed.Run(cfg, w, f)
 }

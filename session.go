@@ -12,6 +12,7 @@ import (
 
 	"github.com/minatoloader/minato/internal/loaders"
 	"github.com/minatoloader/minato/internal/simtime"
+	"github.com/minatoloader/minato/internal/trainer"
 	"github.com/minatoloader/minato/internal/workload"
 )
 
@@ -35,8 +36,14 @@ type sessionOptions struct {
 	retain      bool
 	weight      float64
 	prioritySet bool
+	seedSet     bool
 	topo        *Topology
 	matBytes    int64
+	chaos       *ChaosScript
+	chaosName   string
+	// skip fast-forwards a session past its first batches — set only by
+	// Resume, never by a public option.
+	skip int
 }
 
 // Option configures a session: Open and Cluster.Open, or a training run
@@ -184,7 +191,7 @@ func WithEpochs(n int) Option {
 // WithSeed keys every random draw of the session (shuffling, synthetic
 // sample properties). Identical seeds reproduce runs exactly. Default 1.
 func WithSeed(seed uint64) Option {
-	return sessionOption(func(o *sessionOptions) { o.seed = seed })
+	return sessionOption(func(o *sessionOptions) { o.seed = seed; o.seedSet = true })
 }
 
 // WithParams tunes what a training run records (time series, batch
@@ -329,12 +336,22 @@ type Session struct {
 	gpuIdxs     []int
 	weight      float64
 
-	rt     Runtime
-	env    *Env
-	ld     DataLoader
-	name   string
-	spec   Spec
-	retain bool
+	rt      Runtime
+	env     *Env
+	ld      DataLoader
+	name    string
+	spec    Spec
+	factory Factory
+	retain  bool
+	script  ChaosScript
+	// cst replays the session's chaos script against the Batches stream
+	// and keeps the SLO bookkeeping (step-interval histogram, fault
+	// windows); created when the stream starts.
+	cst *trainer.ChaosState
+	// resumedAt marks a session created by Resume; recoveredIn is the time
+	// from the resume to its first delivered batch.
+	resumedAt   time.Duration
+	recoveredIn time.Duration
 
 	state    atomic.Int32
 	released atomic.Bool
@@ -446,6 +463,7 @@ func (s *Session) Batches(ctx context.Context) iter.Seq2[*Batch, error] {
 				yield(nil, err)
 				return
 			}
+			s.cst = trainer.StartChaos(s.rt, s.env, s.cl.disk, s.env.WG, s.script, len(s.env.GPUs))
 			defer s.teardown()
 
 			// Loaders shard delivery across per-GPU consumer queues;
@@ -458,6 +476,14 @@ func (s *Session) Batches(ctx context.Context) iter.Seq2[*Batch, error] {
 			for g := 0; remaining > 0; g = (g + 1) % n {
 				if done[g] {
 					continue
+				}
+				// Preemption gate: park here while a chaos script holds the
+				// session paused; a terminal preemption ends the stream with
+				// ErrPreempted (checkpoint and Resume to continue warm).
+				if err := s.cst.Gate(ctx); err != nil {
+					s.err = err
+					yield(nil, err)
+					return
 				}
 				b, err := s.ld.Next(ctx, g)
 				if errors.Is(err, io.EOF) {
@@ -473,7 +499,14 @@ func (s *Session) Batches(ctx context.Context) iter.Seq2[*Batch, error] {
 				s.batches.Add(1)
 				s.samples.Add(int64(b.Size()))
 				s.bytes.Add(b.Bytes())
-				s.endAt.Store(int64(s.rt.Now()))
+				now := s.rt.Now()
+				s.endAt.Store(int64(now))
+				s.cst.NoteStep(g, now)
+				if s.resumedAt > 0 && s.recoveredIn == 0 {
+					// First batch of a checkpoint-restored session: the
+					// measured recovery time of the resume.
+					s.recoveredIn = now - s.resumedAt
+				}
 				// The previously yielded batch is out of its validity window
 				// once the loop asks for the next one: recycle it — unless
 				// the loop body already released it itself (the generation
@@ -501,9 +534,11 @@ func (s *Session) runOnKernel(fn func()) {
 	fn()
 }
 
-// teardown stops the loader and waits for its background tasks. Called
-// from inside the kernel task driving Batches.
+// teardown stops the chaos replay and the loader, then waits for the
+// session's background tasks. Called from inside the kernel task driving
+// Batches.
 func (s *Session) teardown() {
+	s.cst.Stop()
 	s.ld.Stop()
 	_ = s.env.WG.Wait(context.Background())
 }
@@ -603,6 +638,20 @@ func (s *Session) Close() (*Report, error) {
 		rep.CacheStats = fin.cache
 		rep.MatCacheStats = fin.mat
 		rep.DiskBytes = fin.disk
+	}
+	if s.cst != nil {
+		// The chaos bookkeeping doubles as the SLO view: step-interval
+		// quantiles, preemption stall, and per-fault windows.
+		s.cst.Finish(rep)
+	}
+	if s.resumedAt > 0 {
+		// A checkpoint-restored session records its own recovery as a
+		// resume fault window, so RecoveryTime() covers restores too.
+		rep.Faults = append(rep.Faults, FaultStat{
+			Event:     ChaosEvent{At: s.resumedAt, Kind: ChaosResume},
+			AppliedAt: s.resumedAt,
+			Recovery:  s.recoveredIn,
+		})
 	}
 	if s.ownsCluster {
 		_ = s.cl.Close()
