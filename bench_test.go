@@ -411,6 +411,86 @@ func BenchmarkPipelineCostModel(b *testing.B) {
 	}
 }
 
+// BenchmarkServe is the disaggregated-service tier: one preprocessing
+// server (an 8-core cluster on a shared fabric) feeding 1, 16, and 256
+// remote clients, each streaming a fixed batch budget over netsim through
+// Dial. All clients consume concurrently on one kernel via StreamAll, so
+// the tier measures the server's admission, fair-share, and send-window
+// machinery under real contention. Reported metrics are aggregate samples
+// per wall second and the worst client's p99 batch wait in (virtual)
+// milliseconds — the queueing delay a training step actually sees.
+func BenchmarkServe(b *testing.B) {
+	const batchesPerClient = 8
+	for _, clients := range []int{1, 16, 256} {
+		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
+			var samples int64
+			var p99 time.Duration
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sn := NewServiceNet(nil, ServiceNetConfig{Endpoints: clients + 8})
+				cl, err := NewCluster(
+					WithRuntime(sn.Runtime()).(ClusterOption),
+					WithEnv(EnvConfig{Cores: 8, GPUs: 1}).(ClusterOption),
+				)
+				if err != nil {
+					b.Fatal(err)
+				}
+				addr, err := Serve(cl, WithServiceNet(sn),
+					Publish("corpus", tenantCorpus{n: 2048},
+						NewPipeline("serve-bench",
+							NewTransform("step", func(*Sample) time.Duration { return time.Millisecond }, nil))))
+				if err != nil {
+					b.Fatal(err)
+				}
+				sessions := make([]*RemoteSession, clients)
+				for c := range sessions {
+					rs, err := Dial(addr,
+						WithBatchSize(32),
+						WithIterations(batchesPerClient),
+						WithSeed(uint64(c+1)),
+						WithPrefetch(4),
+					)
+					if err != nil {
+						b.Fatal(err)
+					}
+					sessions[c] = rs
+				}
+				StreamAll(context.Background(), sessions, func(_ int, s *RemoteSession) {
+					var last *Batch
+					for bt, err := range s.Batches(context.Background()) {
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						last = bt
+					}
+					if last != nil {
+						last.Release()
+					}
+				})
+				for _, s := range sessions {
+					if w := s.Stats().WaitP99; w > p99 {
+						p99 = w
+					}
+					rep, err := s.Close()
+					if err != nil {
+						b.Fatal(err)
+					}
+					samples += rep.Samples
+				}
+				if err := addr.Close(); err != nil {
+					b.Fatal(err)
+				}
+				if err := cl.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(samples)/b.Elapsed().Seconds(), "samples/sec_wall")
+			b.ReportMetric(float64(p99)/float64(time.Millisecond), "p99_batch_wait_ms")
+		})
+	}
+}
+
 // BenchmarkSimulateSmallSession measures end-to-end kernel overhead for a
 // minimal session (the fixed cost every experiment pays).
 func BenchmarkSimulateSmallSession(b *testing.B) {

@@ -127,21 +127,44 @@ func ChaosScenarios() []string {
 	return chaos.Names()
 }
 
-// WithChaos injects the given fault script into the session or multi-node
-// job. The script is validated against the run shape: single-machine entry
-// points (Open, Train, Cluster.Open, Cluster.Train) accept disk,
-// worker-stall, and preempt/resume events; TrainMultiNode accepts node,
-// link, disk, and worker-stall events. Identical scripts against identical
-// runs reproduce reports bit-for-bit.
-func WithChaos(s ChaosScript) Option {
-	return sessionOption(func(o *sessionOptions) { sc := s; o.chaos = &sc })
+// ChaosOption is the type of WithChaos and WithChaosScenario: a fault
+// script attaches to a training session or multi-node job (as an Option)
+// or to a preprocessing server (as a ServeOption).
+type ChaosOption interface {
+	Option
+	ServeOption
+}
+
+type chaosOption struct {
+	session func(*sessionOptions)
+	serve   func(*serveOptions)
+}
+
+func (o chaosOption) applySession(s *sessionOptions) { o.session(s) }
+func (o chaosOption) applyServe(s *serveOptions)     { o.serve(s) }
+
+// WithChaos injects the given fault script into the session, multi-node
+// job, or preprocessing server. The script is validated against the run
+// shape: single-machine entry points (Open, Train, Cluster.Open,
+// Cluster.Train) accept disk, worker-stall, and preempt/resume events;
+// TrainMultiNode accepts node, link, disk, and worker-stall events; Serve
+// accepts link events (targeting servers by fleet index) and disk events.
+// Identical scripts against identical runs reproduce reports bit-for-bit.
+func WithChaos(s ChaosScript) ChaosOption {
+	return chaosOption{
+		session: func(o *sessionOptions) { sc := s; o.chaos = &sc },
+		serve:   func(o *serveOptions) { sc := s; o.chaos = &sc },
+	}
 }
 
 // WithChaosScenario injects a registered fault scenario by name — the
 // one-line form of WithChaos for scripts in the scenario registry
 // (RegisterChaosScenario).
-func WithChaosScenario(name string) Option {
-	return sessionOption(func(o *sessionOptions) { o.chaosName = name })
+func WithChaosScenario(name string) ChaosOption {
+	return chaosOption{
+		session: func(o *sessionOptions) { o.chaosName = name },
+		serve:   func(o *serveOptions) { o.chaosName = name },
+	}
 }
 
 // resolveChaos resolves the chaos options into a validated script for a

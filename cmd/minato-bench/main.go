@@ -15,6 +15,7 @@
 //	minato-bench -nodes                 # multi-node tier: 2/8-node clusters
 //	minato-bench -warm                  # warm-start tier: materialized cache
 //	minato-bench -chaos                 # fault-injection tier: chaos scenarios
+//	minato-bench -serve                 # disaggregated tier: 1/16/256 remote clients
 //
 // Experiment IDs follow the paper: table1..table3, fig1b..fig12, e1 (the
 // artifact appendix run), and abl-* design ablations. Loader and workload
@@ -24,6 +25,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -49,6 +51,7 @@ func main() {
 		nodes     = flag.Bool("nodes", false, "run the multi-node tier (2/8-node clusters over the netsim fabric)")
 		warm      = flag.Bool("warm", false, "run the warm-start tier (1/4/16 tenants over a shared materialized cache)")
 		chaosTier = flag.Bool("chaos", false, "run the fault-injection tier (registered chaos scenarios on an 8-node cluster)")
+		serve     = flag.Bool("serve", false, "run the disaggregated-service tier (1/16/256 remote clients on one preprocessing server)")
 		list      = flag.Bool("list", false, "list experiment IDs and registered names, then exit")
 	)
 	flag.Parse()
@@ -67,6 +70,9 @@ func main() {
 	}
 	if *chaosTier {
 		os.Exit(runChaos(*workload, *seed, *quick))
+	}
+	if *serve {
+		os.Exit(runServe(*workload, *seed, *quick))
 	}
 
 	if (*loader != "" || *workload != "") && !*list {
@@ -395,6 +401,109 @@ func runFleet(loader, workload string, seed uint64, quick bool) int {
 		fmt.Printf("fleet %2d GPUs × %s: %d samples in %s wall (%.0f samples/s), train %.1fs, GPU %.1f%%\n",
 			gpus, rep.Loader, rep.Samples, wall.Round(time.Millisecond),
 			float64(rep.Samples)/wall.Seconds(), rep.TrainTime.Seconds(), rep.AvgGPUUtil)
+	}
+	return 0
+}
+
+// runServe benchmarks the disaggregated-service tier: one preprocessing
+// server (an 8-core cluster) publishes a registered workload's dataset and
+// pipeline on a netsim fabric, and 1, 16, and 256 remote clients stream a
+// fixed batch budget through Dial concurrently on one kernel — the
+// BenchmarkServe view, interactive. Reported per tier: aggregate samples
+// per wall second, the worst client's p99 batch wait in virtual time, and
+// the server's stream/rejection counters.
+func runServe(workloadName string, seed uint64, quick bool) int {
+	if workloadName == "" {
+		workloadName = "speech-3s"
+	}
+	iters := 32
+	tiers := []int{1, 16, 256}
+	if quick {
+		iters = 8
+		tiers = []int{1, 16}
+	}
+	for _, n := range tiers {
+		w, ok := minato.WorkloadByName(workloadName, seed)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown workload %q (use -list)\n", workloadName)
+			return 2
+		}
+		sn := minato.NewServiceNet(nil, minato.ServiceNetConfig{Endpoints: n + 8})
+		cl, err := minato.NewCluster(
+			minato.WithRuntime(sn.Runtime()),
+			minato.WithEnv(minato.EnvConfig{Cores: 8, GPUs: 1}),
+		)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		addr, err := minato.Serve(cl, minato.WithServiceNet(sn),
+			minato.Publish(workloadName, w.Dataset, w.Pipeline))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		start := time.Now()
+		sessions := make([]*minato.RemoteSession, n)
+		for c := range sessions {
+			rs, err := minato.Dial(addr,
+				minato.WithBatchSize(w.BatchSize),
+				minato.WithIterations(iters),
+				minato.WithSeed(seed+uint64(c)),
+				minato.WithPrefetch(4),
+			)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+			sessions[c] = rs
+		}
+		failed := atomic.Bool{}
+		minato.StreamAll(context.Background(), sessions, func(_ int, s *minato.RemoteSession) {
+			var last *minato.Batch
+			for b, err := range s.Batches(context.Background()) {
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					failed.Store(true)
+					return
+				}
+				last = b
+			}
+			if last != nil {
+				last.Release()
+			}
+		})
+		var samples int64
+		var worstP99 time.Duration
+		for _, s := range sessions {
+			if p := s.Stats().WaitP99; p > worstP99 {
+				worstP99 = p
+			}
+			rep, err := s.Close()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				failed.Store(true)
+				continue
+			}
+			samples += rep.Samples
+		}
+		wall := time.Since(start)
+		ss := addr.Stats()
+		if err := addr.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if err := cl.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if failed.Load() {
+			return 1
+		}
+		fmt.Printf("serve %3d clients × %s: %d samples in %s wall (%.0f samples/s aggregate), worst p99 batch wait %.1fms virtual, %d streams, %d batches sent\n",
+			n, workloadName, samples, wall.Round(time.Millisecond),
+			float64(samples)/wall.Seconds(), float64(worstP99)/float64(time.Millisecond),
+			ss.StreamsTotal, ss.BatchesSent)
 	}
 	return 0
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"github.com/minatoloader/minato/internal/chaos"
+	"github.com/minatoloader/minato/internal/service"
 )
 
 // Error taxonomy. Every error the public API returns for misuse is one of
@@ -25,6 +26,14 @@ import (
 //   - ErrNodeLost — a TrainMultiNode chaos script crashed the last live
 //     node, leaving the cluster unable to make progress (a crash with a
 //     scheduled rejoin keeps the run alive; losing everyone does not).
+//   - ErrUnauthorized — a Dial presented a token a token-gated server
+//     (Serve + WithToken) does not recognize.
+//   - ErrQuotaExceeded — a Dial's token is at its concurrent-stream quota
+//     on the server.
+//   - ErrServerOverloaded — a served cluster rejected a Dial at stream
+//     capacity (WithServerMaxStreams, or the backing cluster saturated);
+//     WithDialRetry retries with backoff before surfacing it. Also ends a
+//     remote stream whose client violates the granted send window.
 //
 // Runtime errors (a cancelled context, a failing loader) pass through
 // unwrapped: they are the underlying error, not a member of this taxonomy.
@@ -76,6 +85,20 @@ var ErrPreempted = chaos.ErrPreempted
 // spinning. Crash events that leave at least one node active are handled
 // elastically and are not errors.
 var ErrNodeLost = chaos.ErrNodeLost
+
+// ErrUnauthorized is returned by Dial when a token-gated preprocessing
+// server does not recognize the presented auth token (WithAuthToken).
+var ErrUnauthorized = service.ErrUnauthorized
+
+// ErrQuotaExceeded is returned by Dial when the presented token is
+// already at its concurrent-stream quota (WithToken's TokenQuota).
+var ErrQuotaExceeded = service.ErrQuotaExceeded
+
+// ErrServerOverloaded is returned by Dial when the preprocessing server
+// (or its backing cluster) is at stream capacity — retried with backoff
+// under WithDialRetry before surfacing — and by a remote stream the
+// server killed for violating its granted send window.
+var ErrServerOverloaded = service.ErrServerOverloaded
 
 // configErr builds a *ConfigError.
 func configErr(option, reason string) error {

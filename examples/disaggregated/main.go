@@ -1,0 +1,241 @@
+// Disaggregated: one preprocessing fleet feeding remote training clients
+// over the simulated network — the minato.Serve / minato.Dial deployment
+// where the CPU-heavy preprocessing tier and the GPU training tier scale
+// independently.
+//
+// Two 8-core clusters serve the same published corpus on one fabric: a
+// primary and a replica. Three plain clients stream from the primary and
+// compete for its workers; a fourth client hedges the primary against the
+// replica — whenever its next batch stalls past the hedge delay, it
+// re-requests from the replica and takes whichever answer lands first.
+// The server is token-gated, so the demo also shows a dial without
+// credentials bouncing off with minato.ErrUnauthorized.
+//
+// The whole topology runs on the virtual clock. To prove it, the schedule
+// runs twice on two fresh fabrics and every client-observable quantity —
+// batches, samples, bytes, stream span, wait/step p99, hedge and
+// duplicate counters, server totals, fabric totals — is required to be
+// bit-identical.
+//
+//	go run ./examples/disaggregated
+//	go run -race ./examples/disaggregated
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"github.com/minatoloader/minato"
+)
+
+const (
+	plainClients = 3
+	plainIters   = 12
+	hedgedIters  = 24
+	clients      = plainClients + 1
+)
+
+// corpus is the published dataset: pooled fills, 1 MiB samples, one key
+// space shared by every client of a server so warm cache hits cross
+// client boundaries.
+type corpus struct{ n int }
+
+func (d corpus) Name() string { return "shared-corpus" }
+func (d corpus) Len() int     { return d.n }
+func (d corpus) Sample(epoch, i int) *minato.Sample {
+	s := &minato.Sample{}
+	d.FillSample(epoch, i, s)
+	return s
+}
+func (d corpus) FillSample(epoch, i int, s *minato.Sample) {
+	s.Index, s.Epoch = i, epoch
+	s.Key = minato.Key{Space: "shared-corpus", Index: int64(i)}
+	s.RawBytes, s.Bytes = 1<<20, 1<<20
+}
+
+func pipeline() *minato.Pipeline {
+	return minato.NewPipeline("decode",
+		minato.NewTransform("Decode",
+			func(*minato.Sample) time.Duration { return 500 * time.Microsecond }, nil))
+}
+
+// clientReport is the deterministic core of one client's outcome.
+type clientReport struct {
+	batches int64
+	samples int64
+	bytes   int64
+	span    time.Duration
+	waitP99 time.Duration
+	stepP99 time.Duration
+	hedges  int64
+	dups    int64
+}
+
+// fingerprint is everything one topology run produces that must be
+// bit-identical across repeats.
+type fingerprint struct {
+	clients      [clients]clientReport
+	streams      int64
+	batchesSent  int64
+	unauthorized int64
+	netBytes     int64
+	netFlows     int64
+}
+
+// runTopology builds a fresh fabric, two servers, and four clients, runs
+// the schedule, and returns its fingerprint.
+func runTopology() (fingerprint, error) {
+	var fp fingerprint
+	net := minato.NewServiceNet(nil, minato.ServiceNetConfig{})
+	newServer := func() (*minato.Cluster, *minato.ServerAddr, error) {
+		cl, err := minato.NewCluster(
+			minato.WithRuntime(net.Runtime()),
+			minato.WithEnv(minato.EnvConfig{Cores: 8, GPUs: 1}),
+		)
+		if err != nil {
+			return nil, nil, err
+		}
+		addr, err := minato.Serve(cl,
+			minato.WithServiceNet(net),
+			minato.WithToken("team-a", minato.TokenQuota{MaxStreams: 8}),
+			minato.Publish("shared-corpus", corpus{n: 2048}, pipeline()),
+		)
+		if err != nil {
+			cl.Close()
+			return nil, nil, err
+		}
+		return cl, addr, nil
+	}
+	primaryCl, primary, err := newServer()
+	if err != nil {
+		return fp, err
+	}
+	defer primaryCl.Close()
+	defer primary.Close()
+	replicaCl, replica, err := newServer()
+	if err != nil {
+		return fp, err
+	}
+	defer replicaCl.Close()
+	defer replica.Close()
+
+	// The server is token-gated: no credentials, no stream.
+	if _, err := minato.Dial(primary, minato.WithAuthToken("intruder")); !errors.Is(err, minato.ErrUnauthorized) {
+		return fp, fmt.Errorf("expected ErrUnauthorized for a bad token, got %v", err)
+	}
+
+	sessions := make([]*minato.RemoteSession, clients)
+	for c := 0; c < plainClients; c++ {
+		sessions[c], err = minato.Dial(primary,
+			minato.WithAuthToken("team-a"),
+			minato.WithBatchSize(32),
+			minato.WithIterations(plainIters),
+			minato.WithSeed(uint64(c+1)),
+			minato.WithPrefetch(4),
+		)
+		if err != nil {
+			return fp, err
+		}
+	}
+	// The hedged client outlives its neighbors: while they contend for the
+	// primary's workers its head-of-line batches stall, the hedge fires,
+	// and the idle replica answers first.
+	sessions[plainClients], err = minato.Dial(primary,
+		minato.WithAuthToken("team-a"),
+		minato.WithBatchSize(32),
+		minato.WithIterations(hedgedIters),
+		minato.WithSeed(uint64(clients)),
+		minato.WithPrefetch(4),
+		minato.WithHedge(replica, 10*time.Millisecond),
+		minato.WithDialRetry(2, 50*time.Millisecond),
+	)
+	if err != nil {
+		return fp, err
+	}
+
+	errs := make([]error, clients)
+	minato.StreamAll(context.Background(), sessions, func(i int, s *minato.RemoteSession) {
+		var last *minato.Batch
+		for b, err := range s.Batches(context.Background()) {
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			last = b
+		}
+		// The final batch is consumer-owned; recycle it.
+		if last != nil {
+			last.Release()
+		}
+	})
+	for i, err := range errs {
+		if err != nil {
+			return fp, fmt.Errorf("client %d: %w", i, err)
+		}
+	}
+
+	for i, s := range sessions {
+		cs := s.Stats()
+		rep, err := s.Close()
+		if err != nil {
+			return fp, fmt.Errorf("client %d close: %w", i, err)
+		}
+		fp.clients[i] = clientReport{
+			batches: rep.Batches, samples: rep.Samples, bytes: rep.TrainedBytes,
+			span: rep.TrainTime, waitP99: cs.WaitP99, stepP99: cs.StepP99,
+			hedges: cs.Hedges, dups: cs.Duplicates,
+		}
+	}
+	for _, srv := range []*minato.ServerAddr{primary, replica} {
+		ss := srv.Stats()
+		fp.streams += ss.StreamsTotal
+		fp.batchesSent += ss.BatchesSent
+		fp.unauthorized += ss.RejectedUnauthorized
+		if err := srv.Close(); err != nil {
+			return fp, err
+		}
+	}
+	ns := net.Stats()
+	fp.netBytes, fp.netFlows = ns.BytesMoved, ns.FlowsCompleted
+	return fp, nil
+}
+
+func main() {
+	start := time.Now()
+	first, err := runTopology()
+	if err != nil {
+		log.Fatal(err)
+	}
+	second, err := runTopology()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-9s %8s %10s %8s %9s %9s %7s %5s\n",
+		"client", "batches", "samples", "span(s)", "wait99", "step99", "hedges", "dups")
+	for i, c := range first.clients {
+		name := fmt.Sprintf("plain-%d", i)
+		if i == plainClients {
+			name = "hedged"
+		}
+		fmt.Printf("%-9s %8d %10d %8.2f %9s %9s %7d %5d\n",
+			name, c.batches, c.samples, c.span.Seconds(),
+			c.waitP99.Round(time.Microsecond), c.stepP99.Round(time.Microsecond),
+			c.hedges, c.dups)
+	}
+	fmt.Printf("servers: %d streams, %d batches sent, %d unauthorized dial rejected; fabric: %.1f MiB in %d flows\n",
+		first.streams, first.batchesSent, first.unauthorized,
+		float64(first.netBytes)/(1<<20), first.netFlows)
+
+	if first != second {
+		fmt.Println("\nDETERMINISM FAILURE: topology fingerprints diverged between runs")
+		fmt.Printf("run 1: %+v\nrun 2: %+v\n", first, second)
+		os.Exit(1)
+	}
+	fmt.Printf("\n%d clients × 2 runs: reports bit-identical (deterministic)\n", clients)
+	fmt.Printf("wall time: %s\n", time.Since(start).Round(time.Millisecond))
+}

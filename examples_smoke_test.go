@@ -38,6 +38,26 @@ func TestMultitenantRunsEndToEnd(t *testing.T) {
 	}
 }
 
+// TestDisaggregatedRunsEndToEnd asserts the disaggregated example — two
+// preprocessing servers feeding four remote clients (one hedged) over the
+// service fabric — runs to completion and verifies its own determinism
+// check (two runs, bit-identical client/server/fabric fingerprints).
+func TestDisaggregatedRunsEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping go-run smoke test in -short mode")
+	}
+	out, err := exec.Command("go", "run", "./examples/disaggregated").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run ./examples/disaggregated: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "bit-identical (deterministic)") {
+		t.Fatalf("disaggregated determinism check failed:\n%s", out)
+	}
+	if !strings.Contains(string(out), "unauthorized dial rejected") {
+		t.Fatalf("disaggregated auth-rejection line missing:\n%s", out)
+	}
+}
+
 // TestMultinodeRunsEndToEnd asserts the multinode example — a 4-node
 // straggler cluster over the netsim fabric — runs to completion and
 // verifies its own determinism check (two runs, bit-identical reports).

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/minatoloader/minato/internal/simtime"
 	"github.com/minatoloader/minato/internal/stats"
 )
 
@@ -84,15 +85,34 @@ func (sc *Scheduler) Start(ctx context.Context) {
 	sc.lastBusy = sc.l.env.CPU.BusySeconds()
 	sc.lastTime = sc.l.env.RT.Now()
 	sc.l.env.WG.Go("minato-scheduler", func() {
+		// Park on a selector armed on the loader's gate, with the tick
+		// interval as the heartbeat, rather than a plain Sleep: Stop pulses
+		// the gate, and a gate wake reaches the kernel synchronously. A
+		// context cancel would leave this task's interval timer live until
+		// the cancellation propagates, and an otherwise-idle kernel can
+		// advance the clock to that deadline in the window — a wall-clock
+		// race in what must be a deterministic schedule.
+		sel := simtime.NewSelector(sc.l.env.RT)
 		for {
 			if sc.l.stopFlag.Load() {
 				return
 			}
-			if err := sc.l.env.RT.Sleep(ctx, sc.cfg.SchedInterval); err != nil {
-				return
-			}
-			if sc.l.stopFlag.Load() || sc.l.srcDone.Load() {
-				return
+			next := sc.l.env.RT.Now() + sc.cfg.SchedInterval
+			for {
+				park := next - sc.l.env.RT.Now()
+				if park <= 0 {
+					break
+				}
+				idx, err := sel.Select(ctx, park, sc.l.gate)
+				if err != nil {
+					return
+				}
+				if sc.l.stopFlag.Load() || sc.l.srcDone.Load() {
+					return
+				}
+				if idx == simtime.Heartbeat {
+					break
+				}
 			}
 			sc.tick(ctx)
 		}

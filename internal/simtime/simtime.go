@@ -156,7 +156,11 @@ type Virtual struct {
 	now      atomicDuration
 	runnable int
 	tasks    int
-	timers   timerHeap
+	// daemons counts live daemon tasks (see GoDaemon): tasks that may park
+	// indefinitely waiting for external requests. A kernel whose parked
+	// tasks are all daemons is idle, not deadlocked.
+	daemons int
+	timers  timerHeap
 	// byDeadline maps a pending deadline to its heap node, so timers sharing
 	// a deadline chain off a single node: scheduling them is O(1) and firing
 	// them needs one heap pop for the whole batch.
@@ -185,30 +189,61 @@ func (k *Virtual) Now() time.Duration {
 
 // Go spawns fn as a tracked task.
 func (k *Virtual) Go(name string, fn func()) {
+	k.spawn(name, fn, false)
+}
+
+// GoDaemon spawns fn as a tracked daemon task. Daemons schedule exactly
+// like ordinary tasks, but a kernel left with nothing runnable, no pending
+// timers, and only daemons parked is considered idle rather than
+// deadlocked — the shape of a network server waiting on its inbox after
+// every client has exited. Daemon tasks still count toward Drain; whoever
+// spawns one owns shutting it down (e.g. by closing the queue it parks on).
+func (k *Virtual) GoDaemon(name string, fn func()) {
+	k.spawn(name, fn, true)
+}
+
+func (k *Virtual) spawn(name string, fn func(), daemon bool) {
 	k.mu.Lock()
 	if k.tasks == 0 {
 		k.idle = make(chan struct{})
 	}
 	k.tasks++
 	k.runnable++
+	if daemon {
+		k.daemons++
+	}
 	k.mu.Unlock()
 	go func() {
-		defer k.taskDone()
+		defer k.taskDone(daemon)
 		fn()
 	}()
 	_ = name
 }
 
-func (k *Virtual) taskDone() {
+func (k *Virtual) taskDone(daemon bool) {
 	k.mu.Lock()
 	k.tasks--
 	k.runnable--
+	if daemon {
+		k.daemons--
+	}
 	if k.tasks == 0 {
 		close(k.idle)
 	} else {
 		k.maybeAdvanceLocked()
 	}
 	k.mu.Unlock()
+}
+
+// GoDaemon spawns fn as a daemon task when rt is the Virtual kernel (see
+// Virtual.GoDaemon) and as an ordinary task otherwise — wall-clock
+// runtimes have no deadlock detection to exempt a server task from.
+func GoDaemon(rt Runtime, name string, fn func()) {
+	if v, ok := rt.(*Virtual); ok {
+		v.GoDaemon(name, fn)
+		return
+	}
+	rt.Go(name, fn)
 }
 
 // Run executes fn as a tracked task and blocks the (untracked) caller until
@@ -319,6 +354,12 @@ func (k *Virtual) maybeAdvanceLocked() {
 	stallPolls := 0
 	for k.runnable == 0 && k.tasks > 0 {
 		if len(k.timers) == 0 {
+			if k.tasks == k.daemons {
+				// Every parked task is a daemon waiting for external
+				// requests: the kernel is idle, not deadlocked. Time holds
+				// until a new task spawns or a cross-thread wake arrives.
+				return
+			}
 			// No task is runnable and nothing is scheduled to wake one.
 			// This is either a genuine deadlock or a transient window:
 			// context cancellation wakes parked tasks through ordinary

@@ -27,7 +27,7 @@ done
 # The perf-tracking set: end-to-end session throughput, kernel fixed cost,
 # the headline experiment (simulated-time metrics must stay stable), and the
 # hot-path microbenchmarks.
-BENCH="${BENCH:-BenchmarkLoaderSessionThroughput|BenchmarkSimulateSmallSession|BenchmarkHeadlineSpeedup|BenchmarkPipelineCostModel|BenchmarkFleetSession|BenchmarkClusterTenants|BenchmarkMultiNode\$|BenchmarkChurn|BenchmarkWarmEpoch}"
+BENCH="${BENCH:-BenchmarkLoaderSessionThroughput|BenchmarkSimulateSmallSession|BenchmarkHeadlineSpeedup|BenchmarkPipelineCostModel|BenchmarkFleetSession|BenchmarkClusterTenants|BenchmarkMultiNode\$|BenchmarkChurn|BenchmarkWarmEpoch|BenchmarkServe}"
 MICRO="${MICRO:-BenchmarkVirtualSleep|BenchmarkSelectorWakeWait|BenchmarkVirtualSameDeadlineSleepers|BenchmarkProfilerRecord|BenchmarkPoolSharedContention}"
 
 tmp="$(mktemp)"

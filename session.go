@@ -89,8 +89,11 @@ func WithPipeline(p *Pipeline) Option {
 
 // WithBatchSize sets how many samples each delivered batch holds. Open
 // defaults to 32; Train defaults to the workload's Table 3 value.
-func WithBatchSize(n int) Option {
-	return sessionOption(func(o *sessionOptions) { o.batchSize = n })
+func WithBatchSize(n int) StreamOption {
+	return streamOption{
+		session: func(o *sessionOptions) { o.batchSize = n },
+		dial:    func(o *dialOptions) { o.batchSize = n },
+	}
 }
 
 // WithLoader selects the data loader backend by registered name
@@ -178,20 +181,29 @@ func WithMaterializedCache(bytes int64) SharedOption {
 
 // WithIterations bounds the session to n delivered batches, wrapping
 // epochs as needed. It takes precedence over WithEpochs.
-func WithIterations(n int) Option {
-	return sessionOption(func(o *sessionOptions) { o.iterations = n })
+func WithIterations(n int) StreamOption {
+	return streamOption{
+		session: func(o *sessionOptions) { o.iterations = n },
+		dial:    func(o *dialOptions) { o.iterations = n },
+	}
 }
 
 // WithEpochs bounds the session to n full passes over the dataset
 // (drop-last semantics). The default budget is one epoch.
-func WithEpochs(n int) Option {
-	return sessionOption(func(o *sessionOptions) { o.epochs = n })
+func WithEpochs(n int) StreamOption {
+	return streamOption{
+		session: func(o *sessionOptions) { o.epochs = n },
+		dial:    func(o *dialOptions) { o.epochs = n },
+	}
 }
 
 // WithSeed keys every random draw of the session (shuffling, synthetic
 // sample properties). Identical seeds reproduce runs exactly. Default 1.
-func WithSeed(seed uint64) Option {
-	return sessionOption(func(o *sessionOptions) { o.seed = seed; o.seedSet = true })
+func WithSeed(seed uint64) StreamOption {
+	return streamOption{
+		session: func(o *sessionOptions) { o.seed = seed; o.seedSet = true },
+		dial:    func(o *dialOptions) { o.seed = seed },
+	}
 }
 
 // WithParams tunes what a training run records (time series, batch
@@ -205,9 +217,12 @@ func WithParams(p Params) Option {
 // fresh samples for every draw. Without it, a yielded batch (and the
 // samples inside it) is recycled when the loop takes the next step, so
 // callers that keep references across iterations must either copy what
-// they need or set this option. Open-only.
-func WithRetainBatches() Option {
-	return sessionOption(func(o *sessionOptions) { o.retain = true })
+// they need or set this option. Open and Dial.
+func WithRetainBatches() StreamOption {
+	return streamOption{
+		session: func(o *sessionOptions) { o.retain = true },
+		dial:    func(o *dialOptions) { o.retain = true },
+	}
 }
 
 // WithPriority weights the session in the cluster's fair arbitration of
