@@ -162,6 +162,39 @@ func BenchmarkHeadlineSpeedup(b *testing.B) {
 	}
 }
 
+// BenchmarkHeadlineSpeedupTraced is the headline comparison with end-to-end
+// tracing attached to every run. Tracing only records — it must not perturb
+// the simulation — so the simulated-time metrics here have to be
+// bit-identical to BenchmarkHeadlineSpeedup's, and the wall cost (ns/op) is
+// the tracer's overhead. scripts/bench.sh gates both through `benchjson
+// overhead`: >5% wall over the untraced headline fails, as does any drift
+// in the shared metrics.
+func BenchmarkHeadlineSpeedupTraced(b *testing.B) {
+	cfg := ConfigA()
+	w := workload.Speech(1, 3*time.Second).WithIterations(200)
+	sink := NewTraceSink()
+	for i := 0; i < b.N; i++ {
+		times := map[string]float64{}
+		var gpuUtil, spans float64
+		for _, f := range AllFactories() {
+			sink.Reset()
+			rep, err := TrainWorkload(w, WithLoaderFactory(f), WithHardware(cfg), WithTracing(sink))
+			if err != nil {
+				b.Fatal(err)
+			}
+			times[f.Name] = rep.TrainTime.Seconds()
+			if f.Name == "minato" {
+				gpuUtil = rep.AvgGPUUtil
+				spans = float64(sink.Len())
+			}
+		}
+		b.ReportMetric(times["pytorch"]/times["minato"], "speedup_vs_pytorch_x")
+		b.ReportMetric(times["dali"]/times["minato"], "speedup_vs_dali_x")
+		b.ReportMetric(gpuUtil, "minato_gpu_util_pct")
+		b.ReportMetric(spans, "trace_spans")
+	}
+}
+
 // BenchmarkLoaderSessionThroughput measures simulator throughput: samples
 // processed per wall second across a full Minato session.
 func BenchmarkLoaderSessionThroughput(b *testing.B) {

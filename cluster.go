@@ -13,6 +13,7 @@ import (
 	"github.com/minatoloader/minato/internal/matcache"
 	"github.com/minatoloader/minato/internal/simtime"
 	"github.com/minatoloader/minato/internal/storage"
+	"github.com/minatoloader/minato/internal/trace"
 	"github.com/minatoloader/minato/internal/trainer"
 )
 
@@ -42,6 +43,7 @@ type clusterOptions struct {
 	maxSessions int
 	admission   AdmissionPolicy
 	matBytes    int64
+	trace       *trace.Recorder
 }
 
 // WithMaxSessions caps how many sessions the cluster hosts concurrently.
@@ -97,6 +99,7 @@ type Cluster struct {
 	store  *storage.Store
 	pool   *data.Pool
 	shares *loader.FairShare
+	tr     *trace.Recorder
 
 	maxSessions int
 	admission   AdmissionPolicy
@@ -190,6 +193,20 @@ func newCluster(co *clusterOptions) (*Cluster, error) {
 		}
 		c.cache.ReserveCapacity(co.matBytes)
 		c.mat = matcache.New(co.matBytes)
+	}
+	if co.trace != nil {
+		c.tr = co.trace
+		// GPU kernel occupancy is recorded at the device; the per-tenant
+		// step anatomy comes from consumer-side spans, so the device spans
+		// carry tenant 0 and the GPU index as Key.
+		for _, g := range c.gpus {
+			g.EnableTrace(co.trace, 0, 0)
+		}
+		if c.store != nil {
+			cp := *c.store
+			cp.Trace = co.trace
+			c.store = &cp
+		}
 	}
 	c.shares = loader.NewFairShare(int(c.cpu.Capacity()))
 	c.gpuLoad = make([]int, len(c.gpus))
@@ -411,6 +428,9 @@ func (c *Cluster) train(w Workload, o *sessionOptions) (*Report, error) {
 		c.release()
 	}()
 
+	if c.tr != nil {
+		o.params.Trace = c.tr
+	}
 	env := c.sessionEnv(gpuIdxs, cacheTenant, share)
 	var rep *Report
 	if v, ok := c.rt.(*simtime.Virtual); ok {
@@ -485,6 +505,7 @@ func (c *Cluster) sessionEnv(gpuIdxs []int, cacheTenant int, share *clusterShare
 		Pool:  c.pool,
 		Gov:   share,
 		Mat:   c.mat,
+		Trace: c.tr,
 	}
 }
 

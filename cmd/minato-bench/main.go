@@ -52,6 +52,7 @@ func main() {
 		warm      = flag.Bool("warm", false, "run the warm-start tier (1/4/16 tenants over a shared materialized cache)")
 		chaosTier = flag.Bool("chaos", false, "run the fault-injection tier (registered chaos scenarios on an 8-node cluster)")
 		serve     = flag.Bool("serve", false, "run the disaggregated-service tier (1/16/256 remote clients on one preprocessing server)")
+		traceOut  = flag.String("trace", "", "with -loader/-workload: write Chrome trace-event JSON to this file")
 		list      = flag.Bool("list", false, "list experiment IDs and registered names, then exit")
 	)
 	flag.Parse()
@@ -80,7 +81,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "-exp and -loader/-workload are mutually exclusive")
 			os.Exit(2)
 		}
-		os.Exit(runSession(*loader, *workload, *seed, *quick))
+		os.Exit(runSession(*loader, *workload, *seed, *quick, *traceOut))
 	}
 
 	if *list || *exp == "" {
@@ -132,7 +133,7 @@ func main() {
 
 // runSession benchmarks a single loader × workload pair via the v2 API,
 // resolving both names through the registry.
-func runSession(loader, workload string, seed uint64, quick bool) int {
+func runSession(loader, workload string, seed uint64, quick bool, traceOut string) int {
 	if loader == "" {
 		loader = "minato"
 	}
@@ -147,6 +148,11 @@ func runSession(loader, workload string, seed uint64, quick bool) int {
 	if quick {
 		opts = append(opts, minato.WithIterations(100))
 	}
+	var sink *minato.TraceSink
+	if traceOut != "" {
+		sink = minato.NewTraceSink()
+		opts = append(opts, minato.WithTracing(sink))
+	}
 	start := time.Now()
 	rep, err := minato.Train(workload, opts...)
 	if err != nil {
@@ -156,6 +162,22 @@ func runSession(loader, workload string, seed uint64, quick bool) int {
 	fmt.Printf("%s × %s on %d GPUs: train %.1fs, %.1f MB/s, GPU %.1f%%, CPU %.1f%% (%s wall)\n",
 		rep.Workload, rep.Loader, rep.GPUs, rep.TrainTime.Seconds(), rep.Throughput(),
 		rep.AvgGPUUtil, rep.AvgCPUUtil, time.Since(start).Round(time.Millisecond))
+	if sink != nil {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if err := sink.WriteChrome(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Printf("trace: %s (%d spans)\n", traceOut, sink.Len())
+	}
 	return 0
 }
 

@@ -22,15 +22,16 @@ import (
 
 func main() {
 	var (
-		wl      = flag.String("workload", "speech-3s", "registered workload (see -list)")
-		ld      = flag.String("loader", "minato", "registered loader (see -list)")
-		testbed = flag.String("testbed", "A", "A (4×A100) or B (8×V100)")
-		gpus    = flag.Int("gpus", 0, "override GPU count")
-		epochs  = flag.Int("epochs", 0, "override epoch budget")
-		iters   = flag.Int("iterations", 0, "override iteration budget")
-		seed    = flag.Uint64("seed", 1, "random seed")
-		trace   = flag.String("trace", "", "write per-sample trace CSV to this directory")
-		list    = flag.Bool("list", false, "list registered workloads and loaders, then exit")
+		wl       = flag.String("workload", "speech-3s", "registered workload (see -list)")
+		ld       = flag.String("loader", "minato", "registered loader (see -list)")
+		testbed  = flag.String("testbed", "A", "A (4×A100) or B (8×V100)")
+		gpus     = flag.Int("gpus", 0, "override GPU count")
+		epochs   = flag.Int("epochs", 0, "override epoch budget")
+		iters    = flag.Int("iterations", 0, "override iteration budget")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		traceCSV = flag.String("trace-csv", "", "write per-sample trace CSV to this directory")
+		traceOut = flag.String("trace", "", "write Chrome trace-event JSON (Perfetto-viewable) to this file")
+		list     = flag.Bool("list", false, "list registered workloads and loaders, then exit")
 	)
 	flag.Parse()
 
@@ -55,7 +56,12 @@ func main() {
 		minato.WithLoader(*ld),
 		minato.WithHardware(cfg),
 		minato.WithSeed(*seed),
-		minato.WithParams(minato.Params{Collect: true, TraceSamples: *trace != ""}),
+		minato.WithParams(minato.Params{Collect: true, TraceSamples: *traceCSV != ""}),
+	}
+	var sink *minato.TraceSink
+	if *traceOut != "" {
+		sink = minato.NewTraceSink()
+		opts = append(opts, minato.WithTracing(sink))
 	}
 	if *gpus > 0 {
 		opts = append(opts, minato.WithGPUs(*gpus))
@@ -74,13 +80,29 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	if *trace != "" {
+	if *traceCSV != "" {
 		name := fmt.Sprintf("trace_%s_%s", rep.Workload, rep.Loader)
-		if err := rep.WriteTraceCSV(*trace, name); err != nil {
+		if err := rep.WriteTraceCSV(*traceCSV, name); err != nil {
+			fmt.Fprintln(os.Stderr, "trace-csv:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace written:   %s/%s.csv (%d samples)\n", *traceCSV, name, len(rep.SampleTraces))
+	}
+	if sink != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "trace:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("trace written:   %s/%s.csv (%d samples)\n", *trace, name, len(rep.Trace))
+		if err := sink.WriteChrome(f); err != nil {
+			fmt.Fprintln(os.Stderr, "trace:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "trace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace written:   %s (%d spans)\n", *traceOut, sink.Len())
 	}
 	fmt.Printf("workload:        %s (%s)\n", rep.Workload, w.Model)
 	fmt.Printf("loader:          %s\n", rep.Loader)

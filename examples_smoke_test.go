@@ -1,7 +1,9 @@
 package minato
 
 import (
+	"os"
 	"os/exec"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -60,12 +62,14 @@ func TestDisaggregatedRunsEndToEnd(t *testing.T) {
 
 // TestMultinodeRunsEndToEnd asserts the multinode example — a 4-node
 // straggler cluster over the netsim fabric — runs to completion and
-// verifies its own determinism check (two runs, bit-identical reports).
+// verifies its own determinism checks (two runs with bit-identical
+// reports, and a traced rerun pair with bit-identical Chrome exports).
 func TestMultinodeRunsEndToEnd(t *testing.T) {
 	if testing.Short() {
 		t.Skip("skipping go-run smoke test in -short mode")
 	}
-	out, err := exec.Command("go", "run", "./examples/multinode").CombinedOutput()
+	traceOut := filepath.Join(t.TempDir(), "trace.json")
+	out, err := exec.Command("go", "run", "./examples/multinode", "-out", traceOut).CombinedOutput()
 	if err != nil {
 		t.Fatalf("go run ./examples/multinode: %v\n%s", err, out)
 	}
@@ -74,5 +78,11 @@ func TestMultinodeRunsEndToEnd(t *testing.T) {
 	}
 	if !strings.Contains(string(out), "speedup under a straggler") {
 		t.Fatalf("multinode speedup line missing:\n%s", out)
+	}
+	if !strings.Contains(string(out), "bit-identical across runs") {
+		t.Fatalf("multinode trace determinism line missing:\n%s", out)
+	}
+	if fi, err := os.Stat(traceOut); err != nil || fi.Size() == 0 {
+		t.Fatalf("multinode trace export missing or empty: %v", err)
 	}
 }

@@ -44,6 +44,7 @@ import (
 	"github.com/minatoloader/minato/internal/metrics"
 	"github.com/minatoloader/minato/internal/queue"
 	"github.com/minatoloader/minato/internal/simtime"
+	"github.com/minatoloader/minato/internal/trace"
 	"github.com/minatoloader/minato/internal/transform"
 )
 
@@ -387,6 +388,19 @@ func (l *Loader) spawnWorker(ctx context.Context) {
 	})
 }
 
+// traceSample records a worker-layer span for sample s; a no-op without
+// tracing. StageMatFill spans cover the work performed under the leader
+// claim: a slow sample's parked window shows up as the gap between its
+// budgeted and resumed transform spans, not as fill time.
+func (l *Loader) traceSample(stage trace.Stage, start, end time.Duration, s *data.Sample) {
+	if l.env.Trace == nil {
+		return
+	}
+	l.env.Trace.Record(trace.Span{Start: start, End: end, Stage: stage,
+		Tenant: l.env.TraceTenant(), Node: l.env.TraceNode,
+		Key: int64(s.Index), Seq: s.OriginalOrder, Detail: s.RawBytes})
+}
+
 // errSamplePanic marks a recovered transform panic so runSample treats it
 // like any other per-sample failure.
 var errSamplePanic = errors.New("minato: panic in sample processing")
@@ -471,6 +485,7 @@ func (l *Loader) processNew(ctx context.Context, it loader.IndexItem) error {
 			return err
 		}
 		s.PreprocEnd = l.env.RT.Now()
+		l.traceSample(trace.StageTransform, s.PreprocStart, s.PreprocEnd, s)
 		l.profiler.Record(s.PreprocCost)
 		return l.putFast(ctx, s)
 	}
@@ -480,10 +495,12 @@ func (l *Loader) processNew(ctx context.Context, it loader.IndexItem) error {
 	switch {
 	case err == nil:
 		s.PreprocEnd = l.env.RT.Now()
+		l.traceSample(trace.StageTransform, s.PreprocStart, s.PreprocEnd, s)
 		l.profiler.Record(s.PreprocCost)
 		l.profiler.Classified(false)
 		return l.putFast(ctx, s)
 	case errors.Is(err, transform.ErrInterrupted):
+		l.traceSample(trace.StageTransform, s.PreprocStart, l.env.RT.Now(), s)
 		s.MarkedSlow = true
 		l.profiler.Classified(true)
 		if l.cfg.RestartSlowFromScratch {
@@ -519,15 +536,18 @@ func (l *Loader) finishSlow(ctx context.Context, s *data.Sample) error {
 	}
 	s.ResumedFrom = s.NextTransform
 	s.TimesResumed++
+	resumeStart := l.env.RT.Now()
 	if err := l.spec.Pipeline.Apply(ctx, l.env.CPU, s); err != nil {
 		l.env.Pool.Put(s)
 		return err
 	}
 	s.PreprocEnd = l.env.RT.Now()
+	l.traceSample(trace.StageTransform, resumeStart, s.PreprocEnd, s)
 	l.profiler.Record(s.PreprocCost)
 	if l.mat != nil {
 		l.mat.Complete(l.matTenant, mk, matEntry(s))
 		settled = true
+		l.traceSample(trace.StageMatFill, resumeStart, s.PreprocEnd, s)
 	}
 	if l.cfg.OrderPreserving {
 		l.ordered.add(s)
@@ -577,7 +597,7 @@ func (l *Loader) batchConstructor(ctx context.Context, g int) {
 			l.claims.Add(-1)
 			return
 		}
-		b, ok := l.assemble(ctx, sel, sources)
+		b, ok := l.assemble(ctx, g, sel, sources)
 		if !ok {
 			l.claims.Add(-1)
 			return
@@ -593,7 +613,8 @@ func (l *Loader) batchConstructor(ctx context.Context, g int) {
 // ordered buffer). Slow samples are drawn only when the fast queue is empty,
 // preserving Algorithm 1's priority: the scan order below runs anew after
 // every wakeup, whichever source fired.
-func (l *Loader) assemble(ctx context.Context, sel *simtime.Selector, sources []simtime.Source) (*data.Batch, bool) {
+func (l *Loader) assemble(ctx context.Context, g int, sel *simtime.Selector, sources []simtime.Source) (*data.Batch, bool) {
+	asmStart := l.env.RT.Now()
 	// The batch (and the backing array for its samples) comes from the
 	// session pool; the consumer returns it with Batch.Release.
 	b := l.env.Pool.GetBatch(l.spec.BatchSize)
@@ -641,6 +662,12 @@ func (l *Loader) assemble(ctx context.Context, sel *simtime.Selector, sources []
 	// §4.3: a CUDA prefetch stream moves batch i to GPU memory while
 	// batch i−1 trains, so delivered batches are resident.
 	b.Resident = true
+	if l.env.Trace != nil {
+		l.env.Trace.Record(trace.Span{Start: asmStart, End: b.CreatedAt,
+			Stage: trace.StageAssemble, Tenant: l.env.TraceTenant(),
+			Node: l.env.TraceNode, Key: int64(g), Seq: b.Seq,
+			Detail: int64(len(b.Samples))})
+	}
 	return b, true
 }
 
@@ -677,6 +704,12 @@ func (l *Loader) Next(ctx context.Context, g int) (*data.Batch, error) {
 	b, err := l.batchQs[g].Get(ctx)
 	if err != nil {
 		return nil, loader.EOFIfClosed(err)
+	}
+	if l.env.Trace != nil {
+		// The batch's stay in the delivery queue, sealed to drawn.
+		l.env.Trace.Record(trace.Span{Start: b.CreatedAt, End: l.env.RT.Now(),
+			Stage: trace.StageQueueWait, Tenant: l.env.TraceTenant(),
+			Node: l.env.TraceNode, Key: int64(g), Seq: b.Seq})
 	}
 	return b, nil
 }

@@ -14,6 +14,7 @@ import (
 	"github.com/minatoloader/minato/internal/data"
 	"github.com/minatoloader/minato/internal/loader"
 	"github.com/minatoloader/minato/internal/matcache"
+	"github.com/minatoloader/minato/internal/trace"
 	"github.com/minatoloader/minato/internal/transform"
 )
 
@@ -24,8 +25,10 @@ func (l *Loader) processNewWarm(ctx context.Context, it loader.IndexItem) error 
 	s := loader.FillSample(l.env, l.spec, it)
 	mk := matcache.Key{Obj: s.Key, Sig: l.matSig}
 	for {
+		t0 := l.env.RT.Now()
 		e, hit, w := l.mat.GetOrBegin(l.matTenant, mk, l.env.RT)
 		if hit {
+			l.traceSample(trace.StageMatHit, t0, t0, s)
 			return l.restoreHit(ctx, s, e)
 		}
 		if w == nil {
@@ -35,6 +38,7 @@ func (l *Loader) processNewWarm(ctx context.Context, it loader.IndexItem) error 
 			l.env.Pool.Put(s)
 			return err
 		}
+		l.traceSample(trace.StageMatWait, t0, l.env.RT.Now(), s)
 	}
 	return l.leadFill(ctx, s, mk)
 }
@@ -73,9 +77,11 @@ func (l *Loader) leadFill(ctx context.Context, s *data.Sample, mk matcache.Key) 
 			return aerr
 		}
 		s.PreprocEnd = l.env.RT.Now()
+		l.traceSample(trace.StageTransform, s.PreprocStart, s.PreprocEnd, s)
 		l.profiler.Record(s.PreprocCost)
 		l.mat.Complete(l.matTenant, mk, matEntry(s))
 		settled = true
+		l.traceSample(trace.StageMatFill, s.PreprocStart, s.PreprocEnd, s)
 		return l.putFast(ctx, s)
 	}
 
@@ -84,12 +90,15 @@ func (l *Loader) leadFill(ctx context.Context, s *data.Sample, mk matcache.Key) 
 	switch {
 	case err == nil:
 		s.PreprocEnd = l.env.RT.Now()
+		l.traceSample(trace.StageTransform, s.PreprocStart, s.PreprocEnd, s)
 		l.profiler.Record(s.PreprocCost)
 		l.profiler.Classified(false)
 		l.mat.Complete(l.matTenant, mk, matEntry(s))
 		settled = true
+		l.traceSample(trace.StageMatFill, s.PreprocStart, s.PreprocEnd, s)
 		return l.putFast(ctx, s)
 	case errors.Is(err, transform.ErrInterrupted):
+		l.traceSample(trace.StageTransform, s.PreprocStart, l.env.RT.Now(), s)
 		s.MarkedSlow = true
 		l.profiler.Classified(true)
 		if l.cfg.RestartSlowFromScratch {

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"github.com/minatoloader/minato/internal/simtime"
+	"github.com/minatoloader/minato/internal/trace"
 )
 
 // Device is a shared-capacity resource.
@@ -87,6 +88,14 @@ type Device struct {
 	// amount of work the device has performed, as of lastT. Utilization
 	// over a window is Δbusy / (cap · Δt).
 	busyIntegral float64
+
+	// tr, when set, records one StageDeviceRun span per completed Run —
+	// occupancy as wall (virtual) intervals, work as Detail. Set before
+	// tasks arrive; never cleared.
+	tr       *trace.Recorder
+	trTenant int32
+	trNode   int32
+	trKey    int64
 }
 
 // invalidEpoch marks an entry with no stamped completion instant.
@@ -121,6 +130,16 @@ func New(rt simtime.Runtime, name string, capacity float64) *Device {
 // Name returns the device's diagnostic name.
 func (d *Device) Name() string { return d.name }
 
+// EnableTrace attaches a span recorder: every completed Run records a
+// StageDeviceRun span covering its occupancy interval, with the requested
+// full-speed work in Detail. Call before tasks start; the identity triple
+// (tenant, node, key) distinguishes devices sharing one recorder.
+func (d *Device) EnableTrace(r *trace.Recorder, tenant, node int32, key int64) {
+	d.mu.Lock()
+	d.tr, d.trTenant, d.trNode, d.trKey = r, tenant, node, key
+	d.mu.Unlock()
+}
+
 // Capacity returns the device's parallel capacity.
 func (d *Device) Capacity() float64 { return d.cap }
 
@@ -142,11 +161,13 @@ func (d *Device) Run(ctx context.Context, work time.Duration) error {
 	if work <= 0 {
 		return nil
 	}
+	t0 := d.rt.Now()
 	e, _ := d.pool.Get().(*entry)
 	if e == nil {
 		e = &entry{sel: simtime.NewSelector(d.rt)}
 	}
 	d.mu.Lock()
+	tr, trT, trN, trK := d.tr, d.trTenant, d.trNode, d.trKey
 	d.advanceLocked()
 	e.target = d.progress + work.Seconds()
 	e.epoch = invalidEpoch
@@ -161,6 +182,8 @@ func (d *Device) Run(ctx context.Context, work time.Duration) error {
 		if d.progress >= e.target-1e-9 {
 			d.exitLocked(e)
 			d.pool.Put(e)
+			tr.Record(trace.Span{Start: t0, End: d.rt.Now(), Stage: trace.StageDeviceRun,
+				Tenant: trT, Node: trN, Key: trK, Detail: int64(work)})
 			return nil
 		}
 		var deadline time.Duration

@@ -54,9 +54,11 @@ import (
 	"github.com/minatoloader/minato/internal/hardware"
 	"github.com/minatoloader/minato/internal/loader"
 	"github.com/minatoloader/minato/internal/netsim"
+	"github.com/minatoloader/minato/internal/report"
 	"github.com/minatoloader/minato/internal/simtime"
 	"github.com/minatoloader/minato/internal/stats"
 	"github.com/minatoloader/minato/internal/storage"
+	"github.com/minatoloader/minato/internal/trace"
 	"github.com/minatoloader/minato/internal/trainer"
 	"github.com/minatoloader/minato/internal/workload"
 )
@@ -123,6 +125,11 @@ type Config struct {
 	// Script injects scripted faults during the run (see package chaos).
 	// Membership events switch the run into elastic mode.
 	Script chaos.Script
+
+	// Trace, when non-nil, records deterministic spans from every layer of
+	// the run (loaders, storage, consumer steps, the fabric, faults) into
+	// the given recorder. Nil disables tracing at zero hot-path cost.
+	Trace *trace.Recorder
 }
 
 // DefaultConfig returns a 200 Gb/s-interconnect cluster of Config A nodes
@@ -246,18 +253,31 @@ type Report struct {
 	// NetworkBytes is the total traffic the fabric carried: gradient
 	// flows plus (on a remote-store cluster) dataset fetches.
 	NetworkBytes int64
-	// StepP50 and StepP99 are synchronized-step-time quantiles from a
-	// log-bucket histogram — the SLO view of churn: a fault that stalls a
-	// handful of steps leaves the mean almost untouched and shows up here.
-	StepP50 time.Duration
-	StepP99 time.Duration
-	// Faults lists every applied scripted fault with its measured windows:
-	// when it took effect, when it cleared, recovery time, and the stall
-	// accumulated while it was active.
-	Faults []chaos.FaultStat
+	// StallBreakdown aggregates the cluster's consumer stalls across all
+	// nodes, the synchronized-step-time quantiles, and the applied fault
+	// windows. With tracing enabled the critical-path analyzer fills the
+	// stall fields from the recorded spans; otherwise they are the PerNode
+	// counter sums — both are stamped at the same virtual instants.
+	report.StallBreakdown
 	// PerNode attributes each node's stalls, in node order.
 	PerNode []NodeStats
+
+	// spans is the run's recorded trace when Config.Trace was set.
+	spans []trace.Span
 }
+
+// Trace returns the run's recorded spans in canonical order (nil when
+// tracing was disabled).
+func (r *Report) Trace() []trace.Span { return r.spans }
+
+// CriticalPath reassembles each batch round's latency attribution from
+// the recorded trace (nil when tracing was disabled).
+func (r *Report) CriticalPath() []trace.BatchPath {
+	return trace.CriticalPath(r.spans)
+}
+
+// SetTrace installs a recorded span set.
+func (r *Report) SetTrace(spans []trace.Span) { r.spans = spans }
 
 // StepTime is the whole-cluster synchronized step time — the number the
 // per-step barrier makes everyone pay together.
@@ -266,18 +286,6 @@ func (r *Report) StepTime() time.Duration {
 		return 0
 	}
 	return r.TrainTime / time.Duration(r.Steps)
-}
-
-// RecoveryTime is the longest measured fault recovery in the run — for
-// the common single-fault scripts, the recovery time.
-func (r *Report) RecoveryTime() time.Duration {
-	var max time.Duration
-	for _, f := range r.Faults {
-		if f.Recovery > max {
-			max = f.Recovery
-		}
-	}
-	return max
 }
 
 // consumerSeconds is the total consumer wall time the stall shares are
@@ -425,6 +433,7 @@ type ctrl struct {
 	disks   []*storage.Disk // DiskDegrade targets
 	seed    uint64
 	elastic bool
+	tr      *trace.Recorder
 
 	view atomic.Pointer[memberView]
 
@@ -464,18 +473,28 @@ func (st *ctrl) openFault(ev chaos.Event, now time.Duration) {
 	st.faults = append(st.faults, chaos.FaultStat{Event: ev, AppliedAt: now})
 	st.open[key] = openWin{idx: len(st.faults) - 1, stall: st.totalStall()}
 	st.mu.Unlock()
+	st.tr.Instant(trace.Span{Stage: trace.StageFault, Node: int32(key.node),
+		Key: int64(ev.Kind)}, now)
 }
 
 // closeFault clears the open window opened by kind on node, attributing
 // the stall accumulated in between.
 func (st *ctrl) closeFault(kind chaos.Kind, node int, now time.Duration) {
+	var applied time.Duration
+	closed := false
 	st.mu.Lock()
 	if w, ok := st.open[winKey{kind, node}]; ok {
 		st.faults[w.idx].ClearedAt = now
 		st.faults[w.idx].StallDuring = st.totalStall() - w.stall
+		applied = st.faults[w.idx].AppliedAt
+		closed = true
 		delete(st.open, winKey{kind, node})
 	}
 	st.mu.Unlock()
+	if closed {
+		st.tr.Record(trace.Span{Start: applied, End: now, Stage: trace.StageFaultWindow,
+			Node: int32(node), Key: int64(kind)})
+	}
 }
 
 // applyContinuous handles the engine-replayed event kinds at their exact
@@ -575,6 +594,8 @@ func (st *ctrl) onBoundary(uint64) {
 				st.faults = append(st.faults, chaos.FaultStat{Event: ev, AppliedAt: now})
 				st.pendingRec[ev.Node] = len(st.faults) - 1
 				st.mu.Unlock()
+				st.tr.Instant(trace.Span{Stage: trace.StageFault, Node: int32(ev.Node),
+					Key: int64(ev.Kind)}, now)
 			}
 		}
 	}
@@ -676,6 +697,9 @@ func run(k *simtime.Virtual, cfg Config, nodeCfgs []hardware.Config, w workload.
 		Bandwidth: cfg.LinkBandwidth,
 		Latency:   cfg.LinkLatency,
 	})
+	if cfg.Trace != nil {
+		fab.EnableTrace(cfg.Trace)
+	}
 	// baseBW is each node's configured NIC bandwidth after static
 	// degradation — the level LinkRestore returns to.
 	baseBW := make([]float64, n)
@@ -722,9 +746,17 @@ func run(k *simtime.Virtual, cfg Config, nodeCfgs []hardware.Config, w workload.
 			store = &storage.Store{Disk: serverDisk, Cache: tb.Cache,
 				Remote: remoteFetch{fab: fab, src: storeEP, node: i}}
 		}
+		if cfg.Trace != nil {
+			cp := *store
+			cp.Trace, cp.TraceNode = cfg.Trace, int32(i)
+			store = &cp
+			for _, g := range tb.GPUs {
+				g.EnableTrace(cfg.Trace, 0, int32(i))
+			}
+		}
 		shardW := w.WithDataset(dataset.Shard(w.Dataset, perm[i], n))
 		env := &loader.Env{RT: k, CPU: tb.CPU, GPUs: tb.GPUs, Store: store, WG: wg,
-			Pool: data.NewPool()}
+			Pool: data.NewPool(), Trace: cfg.Trace, TraceNode: int32(i)}
 		nodes[i] = &nodeState{tb: tb, env: env}
 		sp := shardW.Spec()
 		if t := int64(sp.TotalBatches() / len(tb.GPUs)); t < target {
@@ -748,7 +780,7 @@ func run(k *simtime.Virtual, cfg Config, nodeCfgs []hardware.Config, w workload.
 	}
 
 	st := &ctrl{
-		k: k, cfg: cfg, w: w, f: f, fab: fab, wg: wg,
+		k: k, cfg: cfg, w: w, f: f, fab: fab, wg: wg, tr: cfg.Trace,
 		nodes: nodes, baseBW: baseBW, seed: spec.Seed, elastic: elastic,
 		pending: memberEvs, target: target,
 		hist: stats.NewLogHist(),
@@ -818,6 +850,12 @@ func run(k *simtime.Virtual, cfg Config, nodeCfgs []hardware.Config, w workload.
 			g := g
 			consumers.Go("dist-consumer", func() {
 				dev := nd.tb.GPUs[g]
+				tr := cfg.Trace
+				// Step spans share (Node=rank, Key=GPU, Seq=round): the
+				// consumer-local round counter ties a round's anatomy
+				// together for the critical-path analyzer, proxy rounds
+				// included.
+				var round int64
 				for {
 					v := st.view.Load()
 					if v.done {
@@ -837,11 +875,16 @@ func run(k *simtime.Virtual, cfg Config, nodeCfgs []hardware.Config, w workload.
 							breakAll()
 							return
 						}
-						nd.dataStall.Add(int64(k.Now() - t0))
+						tData := k.Now()
+						nd.dataStall.Add(int64(tData - t0))
+						tr.Record(trace.Span{Start: t0, End: tData, Stage: trace.StageDataWait,
+							Node: int32(rank), Key: int64(g), Seq: round})
 						if err := dev.Train(ctx, w.GPUStep); err != nil {
 							breakAll()
 							return
 						}
+						tr.Record(trace.Span{Start: tData, End: k.Now(), Stage: trace.StageGPUStep,
+							Node: int32(rank), Key: int64(g), Seq: round})
 						nd.samples.Add(int64(len(b.Samples)))
 						b.Release()
 					}
@@ -856,6 +899,8 @@ func run(k *simtime.Virtual, cfg Config, nodeCfgs []hardware.Config, w workload.
 					t2 := k.Now()
 					if act {
 						nd.barrierStall.Add(int64(t2 - t1))
+						tr.Record(trace.Span{Start: t1, End: t2, Stage: trace.StageBarrierWait,
+							Node: int32(rank), Key: int64(g), Seq: round})
 						if g == 0 {
 							if err := v.ring.AllReduce(ctx, v.ranks[rank], cfg.GradientBytes); err != nil {
 								if !errors.Is(err, simtime.ErrBarrierBroken) {
@@ -869,12 +914,18 @@ func run(k *simtime.Virtual, cfg Config, nodeCfgs []hardware.Config, w workload.
 					if _, err := resume.Wait(ctx); err != nil {
 						return
 					}
+					now := k.Now()
 					if act {
-						nd.networkStall.Add(int64(k.Now() - t2))
+						nd.networkStall.Add(int64(now - t2))
+						tr.Record(trace.Span{Start: t2, End: now, Stage: trace.StageNetworkWait,
+							Node: int32(rank), Key: int64(g), Seq: round})
 					} else {
-						nd.downtime.Add(int64(k.Now() - t1))
+						nd.downtime.Add(int64(now - t1))
+						tr.Record(trace.Span{Start: t1, End: now, Stage: trace.StageDowntime,
+							Node: int32(rank), Key: int64(g), Seq: round})
 					}
-					storeMax(&lastEnd, int64(k.Now()))
+					round++
+					storeMax(&lastEnd, int64(now))
 				}
 			})
 		}
@@ -905,6 +956,17 @@ func run(k *simtime.Virtual, cfg Config, nodeCfgs []hardware.Config, w workload.
 	rep.StepP50 = st.hist.QuantileDuration(0.5)
 	rep.StepP99 = st.hist.QuantileDuration(0.99)
 	rep.Faults = append(rep.Faults, st.faults...)
+	if cfg.Trace.Enabled() {
+		rep.spans = cfg.Trace.Snapshot()
+		// The critical-path analyzer is the source for the aggregate stall
+		// fields when tracing is on. The spans are stamped at exactly the
+		// instants the PerNode counters integrate, so the two agree to the
+		// nanosecond (the counters stay as the cross-check).
+		a := trace.Attribute(trace.CriticalPath(rep.spans), nil)
+		rep.DataStall = a.DataWait
+		rep.BarrierStall = a.BarrierWait
+		rep.NetworkStall = a.NetworkWait
+	}
 
 	dur := rep.TrainTime.Seconds()
 	busyAll, gpuCount := 0.0, 0
@@ -932,6 +994,13 @@ func run(k *simtime.Virtual, cfg Config, nodeCfgs []hardware.Config, w workload.
 			GPUUtil:      util,
 		})
 		nd.tb.Cache.Recycle()
+	}
+	if !cfg.Trace.Enabled() {
+		for _, ns := range rep.PerNode {
+			rep.DataStall += ns.DataStall
+			rep.BarrierStall += ns.BarrierStall
+			rep.NetworkStall += ns.NetworkStall
+		}
 	}
 	if dur > 0 {
 		rep.AvgGPUUtil = min(100, 100*busyAll/(float64(gpuCount)*dur))

@@ -15,6 +15,7 @@ import (
 
 	"github.com/minatoloader/minato/internal/device"
 	"github.com/minatoloader/minato/internal/simtime"
+	"github.com/minatoloader/minato/internal/trace"
 )
 
 // Arch describes a GPU architecture. Speed is relative to an A100: work
@@ -59,6 +60,12 @@ func New(rt simtime.Runtime, id int, arch Arch, memBytes int64) *GPU {
 		compute: device.New(rt, fmt.Sprintf("gpu%d-%s", id, arch.Name), streamCapacity),
 		memCap:  memBytes,
 	}
+}
+
+// EnableTrace records a StageDeviceRun occupancy span for every kernel
+// (train step, preprocessing, copy) this GPU executes. Key is the GPU ID.
+func (g *GPU) EnableTrace(r *trace.Recorder, tenant, node int32) {
+	g.compute.EnableTrace(r, tenant, node, int64(g.ID))
 }
 
 // Train occupies the GPU for an A100-normalized work duration.

@@ -7,6 +7,7 @@ package metrics
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -39,11 +40,17 @@ func NewCollector(rt simtime.Runtime, interval time.Duration) *Collector {
 
 // Register adds a gauge. The function is called from the collector task
 // only, so stateful window gauges (e.g. Device.UtilizationGauge) are safe.
-func (c *Collector) Register(name string, fn func() float64) {
+// Registering after Stop returns an error: the sampling task has already
+// exited, so the gauge would silently never be sampled.
+func (c *Collector) Register(name string, fn func() float64) error {
+	if c.stopped.Load() {
+		return fmt.Errorf("metrics: Register(%q) after Stop: the sampling task has exited", name)
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.gauges = append(c.gauges, gauge{name: name, fn: fn})
 	c.series[name] = &stats.TimeSeries{Name: name}
+	return nil
 }
 
 // Start launches the sampling task in wg. The task exits at the first tick
@@ -92,6 +99,29 @@ func (c *Collector) Names() []string {
 	out := make([]string, 0, len(c.gauges))
 	for _, g := range c.gauges {
 		out = append(out, g.name)
+	}
+	return out
+}
+
+// SeriesSnapshot is one gauge's recorded points, copied out of the
+// collector.
+type SeriesSnapshot struct {
+	Name   string
+	Points []stats.Point
+}
+
+// Snapshot copies every recorded series under a single lock acquisition,
+// in registration order — a consistent cut across gauges, where repeated
+// Series/Names calls could interleave with a sampling tick.
+func (c *Collector) Snapshot() []SeriesSnapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]SeriesSnapshot, 0, len(c.gauges))
+	for _, g := range c.gauges {
+		ts := c.series[g.name]
+		pts := make([]stats.Point, len(ts.Points))
+		copy(pts, ts.Points)
+		out = append(out, SeriesSnapshot{Name: g.name, Points: pts})
 	}
 	return out
 }

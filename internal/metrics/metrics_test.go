@@ -64,6 +64,60 @@ func TestCounterRateGauge(t *testing.T) {
 	})
 }
 
+func TestRegisterAfterStopErrors(t *testing.T) {
+	k := simtime.NewVirtual()
+	k.Run(func() {
+		c := NewCollector(k, time.Second)
+		if err := c.Register("ok", func() float64 { return 1 }); err != nil {
+			t.Fatalf("live Register: %v", err)
+		}
+		wg := simtime.NewWaitGroup(k)
+		c.Start(wg)
+		c.Stop()
+		_ = wg.Wait(context.Background())
+		if err := c.Register("late", func() float64 { return 2 }); err == nil {
+			t.Fatal("Register after Stop succeeded; the gauge would never be sampled")
+		}
+		for _, n := range c.Names() {
+			if n == "late" {
+				t.Fatal("rejected gauge still registered")
+			}
+		}
+	})
+}
+
+func TestSnapshotConsistentCut(t *testing.T) {
+	k := simtime.NewVirtual()
+	k.Run(func() {
+		c := NewCollector(k, time.Second)
+		n := 0.0
+		// Both gauges report the same monotonic counter; a consistent cut
+		// must show every series with the same number of points.
+		c.Register("a", func() float64 { n++; return n })
+		c.Register("b", func() float64 { return n })
+		wg := simtime.NewWaitGroup(k)
+		c.Start(wg)
+		_ = k.Sleep(context.Background(), 5500*time.Millisecond)
+		snap := c.Snapshot()
+		if len(snap) != 2 || snap[0].Name != "a" || snap[1].Name != "b" {
+			t.Fatalf("snapshot shape: %+v", snap)
+		}
+		if len(snap[0].Points) != len(snap[1].Points) {
+			t.Fatalf("torn snapshot: %d vs %d points", len(snap[0].Points), len(snap[1].Points))
+		}
+		if len(snap[0].Points) == 0 {
+			t.Fatal("no samples recorded")
+		}
+		// The copies must be detached from the live series.
+		snap[0].Points[0].V = -1
+		if c.Series("a").Points[0].V == -1 {
+			t.Fatal("snapshot aliases the live series")
+		}
+		c.Stop()
+		_ = wg.Wait(context.Background())
+	})
+}
+
 func TestNamesAndUnknownSeries(t *testing.T) {
 	k := simtime.NewVirtual()
 	c := NewCollector(k, time.Second)

@@ -1,0 +1,76 @@
+package metrics
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"strings"
+
+	"github.com/minatoloader/minato/internal/stats"
+)
+
+// Prometheus text-format export: the Collector's gauges become gauge
+// metrics (last sampled value), and log-bucket histograms (step-time SLO
+// views) become histogram metrics with cumulative buckets. Everything is
+// emitted in a caller-controlled deterministic order with integer-exact
+// counts, so a snapshot of a deterministic run is itself reproducible.
+
+// HistSnapshot names a histogram for export.
+type HistSnapshot struct {
+	Name string
+	Hist *stats.LogHist
+}
+
+// promName sanitizes a series name into a Prometheus metric name.
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString("minato_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus writes the series snapshot and histograms in the
+// Prometheus text exposition format. Series order is preserved (Snapshot
+// returns registration order); each gauge reports its most recent sample.
+func WritePrometheus(w io.Writer, series []SeriesSnapshot, hists []HistSnapshot) error {
+	bw := bufio.NewWriter(w)
+	for _, s := range series {
+		if len(s.Points) == 0 {
+			continue
+		}
+		name := promName(s.Name)
+		last := s.Points[len(s.Points)-1]
+		bw.WriteString("# TYPE " + name + " gauge\n")
+		bw.WriteString(name + " " + promFloat(last.V) + "\n")
+		bw.WriteString("# TYPE " + name + "_samples_total counter\n")
+		bw.WriteString(name + "_samples_total " + strconv.Itoa(len(s.Points)) + "\n")
+	}
+	for _, h := range hists {
+		if h.Hist == nil || h.Hist.N() == 0 {
+			continue
+		}
+		name := promName(h.Name)
+		bw.WriteString("# TYPE " + name + " histogram\n")
+		cum := int64(0)
+		h.Hist.ForEachBucket(func(upper float64, count int64) {
+			cum += count
+			bw.WriteString(name + `_bucket{le="` + promFloat(upper) + `"} ` +
+				strconv.FormatInt(cum, 10) + "\n")
+		})
+		bw.WriteString(name + `_bucket{le="+Inf"} ` + strconv.FormatInt(h.Hist.N(), 10) + "\n")
+		bw.WriteString(name + "_sum " + promFloat(h.Hist.Sum()) + "\n")
+		bw.WriteString(name + "_count " + strconv.FormatInt(h.Hist.N(), 10) + "\n")
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,55 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/minatoloader/minato/internal/stats"
+)
+
+func TestWritePrometheus(t *testing.T) {
+	series := []SeriesSnapshot{
+		{Name: "gpu", Points: []stats.Point{{T: time.Second, V: 50}, {T: 2 * time.Second, V: 92.5}}},
+		{Name: "empty"},
+		{Name: "minato workers!", Points: []stats.Point{{T: time.Second, V: 3}}},
+	}
+	h := stats.NewLogHist()
+	h.Add(0.001)
+	h.Add(0.001)
+	h.Add(0.5)
+	hists := []HistSnapshot{{Name: "step_seconds", Hist: h}, {Name: "idle", Hist: stats.NewLogHist()}}
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, series, hists); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE minato_gpu gauge\nminato_gpu 92.5\n",
+		"minato_gpu_samples_total 2\n",
+		"minato_minato_workers_ 3\n",
+		"# TYPE minato_step_seconds histogram\n",
+		`minato_step_seconds_bucket{le="+Inf"} 3`,
+		"minato_step_seconds_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "minato_empty") || strings.Contains(out, "minato_idle") {
+		t.Fatalf("empty series/hist exported:\n%s", out)
+	}
+	// Cumulative buckets must be nondecreasing and end at the count.
+	if !strings.Contains(out, "minato_step_seconds_sum 0.502") {
+		t.Fatalf("histogram sum wrong:\n%s", out)
+	}
+	// Deterministic: a second write produces identical bytes.
+	var b2 strings.Builder
+	if err := WritePrometheus(&b2, series, hists); err != nil {
+		t.Fatal(err)
+	}
+	if b2.String() != out {
+		t.Fatal("export not deterministic")
+	}
+}

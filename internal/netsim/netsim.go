@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"github.com/minatoloader/minato/internal/simtime"
+	"github.com/minatoloader/minato/internal/trace"
 )
 
 // Config sizes a fabric.
@@ -75,6 +76,13 @@ type Fabric struct {
 	// pool recycles flow records (and their selectors) across Transfer
 	// calls: the steady-state transfer path allocates nothing.
 	pool sync.Pool
+
+	// tr, when set, records flow-lifetime spans (StageFlow, on retirement)
+	// and rate-change instants (StageFlowRate). Rate instants are recorded
+	// at settlement — the first advance across real elapsed time — never
+	// from mid-instant transients, so the span set is independent of the
+	// order same-instant membership events reached the mutex.
+	tr *trace.Recorder
 }
 
 // link is one unidirectional NIC attachment.
@@ -112,6 +120,12 @@ type flow struct {
 	finishAt        time.Duration // absolute completion deadline at rate
 	sel             *simtime.Selector
 	parked          bool // holds an armed deadline for the current rate
+	// settledRate is the rate last recorded as a StageFlowRate instant;
+	// -1 until the flow's first settlement. Comparing against it (rather
+	// than flagging changes inside reshareLocked) skips transients that
+	// bend back within one instant — whose occurrence depends on event
+	// order — so the recorded set stays deterministic.
+	settledRate float64
 }
 
 // flowLess is the canonical flow order: link pair, then entry time, then
@@ -171,6 +185,16 @@ func New(rt simtime.Runtime, cfg Config) *Fabric {
 
 // Endpoints returns the number of NIC-owning endpoints.
 func (f *Fabric) Endpoints() int { return len(f.links) / 2 }
+
+// EnableTrace attaches a span recorder: each retiring flow records a
+// StageFlow span (Node = source endpoint, Key = destination endpoint,
+// Detail = bytes delivered) and each settled rate change a StageFlowRate
+// instant (Detail = bytes/s). Call before traffic starts.
+func (f *Fabric) EnableTrace(r *trace.Recorder) {
+	f.mu.Lock()
+	f.tr = r
+	f.mu.Unlock()
+}
 
 // MinBandwidth is the floor SetBandwidth clamps to, in bytes/s. A zero or
 // negative bandwidth would divide the water-filling rate computation by
@@ -255,6 +279,7 @@ func (f *Fabric) Transfer(ctx context.Context, src, dst int, n int64) error {
 	fl.size = n
 	fl.remaining = float64(n)
 	fl.rate = 0
+	fl.settledRate = -1
 	fl.finishAt = math.MaxInt64
 
 	f.mu.Lock()
@@ -316,6 +341,9 @@ func (f *Fabric) insertFlowLocked(fl *flow) {
 // exitLocked removes fl from the fabric (preserving the canonical order of
 // the survivors) and re-shares them. Unlocks f.mu.
 func (f *Fabric) exitLocked(fl *flow) {
+	f.tr.Record(trace.Span{Start: fl.startT, End: f.lastT, Stage: trace.StageFlow,
+		Node: int32(fl.egress / 2), Key: int64(fl.ingress / 2),
+		Detail: fl.size - int64(fl.remaining)})
 	f.doneBytes += fl.size - int64(fl.remaining)
 	f.links[fl.egress].n--
 	f.links[fl.ingress].n--
@@ -343,6 +371,19 @@ func (f *Fabric) advanceLocked() {
 	now := f.rt.Now()
 	if now <= f.lastT {
 		return
+	}
+	if f.tr.Enabled() {
+		// Rates assigned at lastT persisted across real elapsed time: they
+		// are settled, record the ones that moved. Flows iterate in
+		// canonical order, so the recorded set is schedule-independent.
+		for _, fl := range f.flows {
+			if fl.rate != fl.settledRate {
+				f.tr.Instant(trace.Span{Stage: trace.StageFlowRate,
+					Node: int32(fl.egress / 2), Key: int64(fl.ingress / 2),
+					Detail: int64(fl.rate)}, f.lastT)
+				fl.settledRate = fl.rate
+			}
+		}
 	}
 	el := (now - f.anchorT).Seconds()
 	for i := range f.links {

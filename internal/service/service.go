@@ -42,6 +42,7 @@ import (
 	"github.com/minatoloader/minato/internal/netsim"
 	"github.com/minatoloader/minato/internal/queue"
 	"github.com/minatoloader/minato/internal/simtime"
+	"github.com/minatoloader/minato/internal/trace"
 )
 
 // Typed protocol errors. The root package re-exports these in its error
@@ -216,6 +217,11 @@ type Net struct {
 	next    int
 	inboxes []*queue.Queue[Frame]
 	servers []int // fleet index → endpoint
+
+	// tr, when set, records one StageFrame span per delivered frame: wire
+	// time plus receiver backpressure, sender in Node, destination in Key,
+	// the frame's Op in Detail.
+	tr *trace.Recorder
 }
 
 // NewNet builds a service fabric on rt.
@@ -235,6 +241,16 @@ func NewNet(rt simtime.Runtime, cfg Config) *Net {
 
 // Runtime returns the clock the network runs on.
 func (n *Net) Runtime() simtime.Runtime { return n.rt }
+
+// EnableTrace attaches a span recorder to the service network: every
+// delivered frame records a StageFrame span, and the underlying fabric
+// records flow lifetimes and rate changes. Call before traffic starts.
+func (n *Net) EnableTrace(r *trace.Recorder) {
+	n.mu.Lock()
+	n.tr = r
+	n.mu.Unlock()
+	n.fab.EnableTrace(r)
+}
 
 // Bandwidth returns the configured per-NIC baseline bandwidth.
 func (n *Net) Bandwidth() float64 { return n.cfg.Bandwidth }
@@ -298,6 +314,7 @@ func (n *Net) FlowsCompleted() int64 { return n.fab.FlowsCompleted() }
 // full: receiver backpressure reaches the sender). Must run on a tracked
 // task.
 func (n *Net) Send(ctx context.Context, dst int, fr Frame) error {
+	t0 := n.rt.Now()
 	if err := n.fab.Transfer(ctx, fr.From, dst, fr.WireBytes()); err != nil {
 		return err
 	}
@@ -308,5 +325,10 @@ func (n *Net) Send(ctx context.Context, dst int, fr Frame) error {
 	if err := inbox.Put(ctx, fr); err != nil {
 		return fmt.Errorf("service: endpoint %d inbox: %w", dst, err)
 	}
+	n.mu.Lock()
+	tr := n.tr
+	n.mu.Unlock()
+	tr.Record(trace.Span{Start: t0, End: n.rt.Now(), Stage: trace.StageFrame,
+		Node: int32(fr.From), Key: int64(dst), Seq: int64(fr.Seq), Detail: int64(fr.Op)})
 	return nil
 }

@@ -147,6 +147,7 @@ func (s Summary) String() string {
 type LogHist struct {
 	counts []int64
 	n      int64
+	sum    float64
 }
 
 // Bucket geometry: logHistBuckets spanning [logHistMin, logHistMax]
@@ -191,6 +192,7 @@ func logHistValue(b int) float64 {
 func (h *LogHist) Add(sec float64) {
 	h.counts[logHistBucket(sec)]++
 	h.n++
+	h.sum += sec
 }
 
 // AddDuration records one observation.
@@ -198,6 +200,30 @@ func (h *LogHist) AddDuration(d time.Duration) { h.Add(d.Seconds()) }
 
 // N returns the number of observations.
 func (h *LogHist) N() int64 { return h.n }
+
+// Sum returns the total of all observations in seconds.
+func (h *LogHist) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// ForEachBucket calls fn for every non-empty bucket, in bucket order, with
+// the bucket's upper-edge value in seconds and its (non-cumulative) count.
+// Exporters (e.g. the Prometheus text format) build their cumulative view
+// from this.
+func (h *LogHist) ForEachBucket(fn func(upper float64, count int64)) {
+	if h == nil {
+		return
+	}
+	for b, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		fn(logHistValue(b+1), c)
+	}
+}
 
 // Quantile returns the q-th quantile (q in [0,1]) in seconds,
 // interpolating within the landing bucket. It returns 0 when empty.

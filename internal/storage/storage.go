@@ -16,6 +16,7 @@ import (
 	"github.com/minatoloader/minato/internal/data"
 	"github.com/minatoloader/minato/internal/device"
 	"github.com/minatoloader/minato/internal/simtime"
+	"github.com/minatoloader/minato/internal/trace"
 )
 
 // Disk is a bandwidth-shared storage device. Parallelism is the number of
@@ -603,6 +604,12 @@ type Store struct {
 	// addition to the disk time — the Lustre-over-interconnect path of §3's
 	// Config A, now with real contention.
 	Remote RemoteFetcher
+	// Trace, when set, records this store's reads as spans: disk occupancy,
+	// remote fetches, and the page cache's hit/fill/wait protocol (a
+	// follower's wait shares its leader's (Tenant, Key) identity).
+	// TraceNode stamps the reading node. Nil disables recording.
+	Trace     *trace.Recorder
+	TraceNode int32
 }
 
 // WithTenant returns a copy of the store routing cache traffic as the given
@@ -621,41 +628,66 @@ func (st *Store) WithTenant(id int) *Store {
 // instead of issuing redundant reads for bytes already on their way.
 func (st *Store) ReadSample(ctx context.Context, rt simtime.Runtime, s *data.Sample) error {
 	if st.Cache == nil {
-		if err := st.fetch(ctx, s.RawBytes); err != nil {
+		if err := st.fetch(ctx, rt, s); err != nil {
 			return err
 		}
 		s.LoadedAt = rt.Now()
 		return nil
 	}
+	first := true
 	for {
+		t0 := rt.Now()
 		hit, waiter := st.Cache.GetOrBegin(st.Tenant, s.Key, rt)
 		if hit {
+			if first {
+				// A follower finding the published fill on re-check already
+				// recorded its wait; only a first-try hit is an instant.
+				st.Trace.Instant(st.span(trace.StageCacheHit, t0, t0, s), t0)
+			}
 			break
 		}
 		if waiter == nil { // leader: fetch and publish
-			if err := st.fetch(ctx, s.RawBytes); err != nil {
+			if err := st.fetch(ctx, rt, s); err != nil {
 				st.Cache.AbortFetch(s.Key)
 				return err
 			}
 			st.Cache.CompleteFetch(st.Tenant, s.Key, s.RawBytes)
+			st.Trace.Record(st.span(trace.StageCacheFill, t0, rt.Now(), s))
 			break
 		}
 		if err := waiter.Wait(ctx); err != nil {
 			return err
 		}
+		st.Trace.Record(st.span(trace.StageCacheWait, t0, rt.Now(), s))
+		first = false
 	}
 	s.LoadedAt = rt.Now()
 	return nil
 }
 
+// span stamps a storage span for sample s: Key is the sample index, Seq
+// its global draw order, Detail its raw size — the identity a follower's
+// wait shares with its leader's fill.
+func (st *Store) span(stage trace.Stage, start, end time.Duration, s *data.Sample) trace.Span {
+	return trace.Span{Start: start, End: end, Stage: stage,
+		Tenant: int32(st.Tenant), Node: st.TraceNode,
+		Key: int64(s.Index), Seq: s.OriginalOrder, Detail: s.RawBytes}
+}
+
 // fetch is the uncached read path: the disk occupancy, then — for remote
 // storage — the network transfer to the reading node.
-func (st *Store) fetch(ctx context.Context, n int64) error {
-	if err := st.Disk.Read(ctx, n); err != nil {
+func (st *Store) fetch(ctx context.Context, rt simtime.Runtime, s *data.Sample) error {
+	t0 := rt.Now()
+	if err := st.Disk.Read(ctx, s.RawBytes); err != nil {
 		return err
 	}
+	st.Trace.Record(st.span(trace.StageDiskRead, t0, rt.Now(), s))
 	if st.Remote != nil {
-		return st.Remote.Fetch(ctx, n)
+		t1 := rt.Now()
+		if err := st.Remote.Fetch(ctx, s.RawBytes); err != nil {
+			return err
+		}
+		st.Trace.Record(st.span(trace.StageRemoteFetch, t1, rt.Now(), s))
 	}
 	return nil
 }

@@ -1,0 +1,148 @@
+package trace
+
+import (
+	"sort"
+	"time"
+)
+
+// Critical-path analysis. Each delivered batch leaves a set of step-stage
+// spans sharing (Tenant, Node, Key=GPU, Seq): the consumer's wait on its
+// loader, the host-to-device copy, the GPU step, and — in a distributed
+// run — the step barrier, the collective, or crashed-rank downtime. The
+// analyzer walks the trace backwards from delivery and reassembles each
+// batch's journey: where its latency went, stage by stage. Because the
+// instrumented spans are stamped at exactly the instants the stall
+// counters integrate, the per-stage sums here agree with
+// DataStall/BarrierStall/NetworkStall to the nanosecond — the analyzer is
+// the counters' replacement, not an approximation of them.
+
+// BatchPath is one delivered batch's latency attribution. The stage
+// fields partition [Start, End]: their sum plus Other equals Latency
+// exactly.
+type BatchPath struct {
+	Tenant int32
+	Node   int32
+	GPU    int64 // consumer index (the step spans' Key)
+	Seq    int64 // batch sequence within the consumer's stream
+
+	Start, End time.Duration
+
+	DataWait    time.Duration // blocked on the loader (input starvation)
+	Copy        time.Duration // synchronous host-to-device copy
+	GPUStep     time.Duration // device occupancy for the train step
+	BarrierWait time.Duration // parked at the step barrier for slower ranks
+	NetworkWait time.Duration // gradient all-reduce over the fabric
+	Downtime    time.Duration // crashed out of the membership (proxy round)
+	Other       time.Duration // uninstrumented remainder (validation, gates)
+}
+
+// Latency is the batch's whole step interval.
+func (p BatchPath) Latency() time.Duration { return p.End - p.Start }
+
+// stepStage reports whether s belongs to the consumer step anatomy.
+func stepStage(s Stage) bool {
+	switch s {
+	case StageDataWait, StageCopy, StageGPUStep, StageBarrierWait, StageNetworkWait, StageDowntime:
+		return true
+	}
+	return false
+}
+
+// CriticalPath reassembles per-batch journeys from a trace. Results are
+// sorted by (Tenant, Node, GPU, Seq) — a pure function of the span set.
+func CriticalPath(spans []Span) []BatchPath {
+	type pathKey struct {
+		tenant int32
+		node   int32
+		gpu    int64
+		seq    int64
+	}
+	acc := map[pathKey]*BatchPath{}
+	for _, s := range spans {
+		if !stepStage(s.Stage) {
+			continue
+		}
+		k := pathKey{s.Tenant, s.Node, s.Key, s.Seq}
+		p := acc[k]
+		if p == nil {
+			p = &BatchPath{Tenant: s.Tenant, Node: s.Node, GPU: s.Key, Seq: s.Seq,
+				Start: s.Start, End: s.End}
+			acc[k] = p
+		}
+		if s.Start < p.Start {
+			p.Start = s.Start
+		}
+		if s.End > p.End {
+			p.End = s.End
+		}
+		d := s.End - s.Start
+		switch s.Stage {
+		case StageDataWait:
+			p.DataWait += d
+		case StageCopy:
+			p.Copy += d
+		case StageGPUStep:
+			p.GPUStep += d
+		case StageBarrierWait:
+			p.BarrierWait += d
+		case StageNetworkWait:
+			p.NetworkWait += d
+		case StageDowntime:
+			p.Downtime += d
+		}
+	}
+	out := make([]BatchPath, 0, len(acc))
+	for _, p := range acc {
+		p.Other = p.Latency() -
+			(p.DataWait + p.Copy + p.GPUStep + p.BarrierWait + p.NetworkWait + p.Downtime)
+		out = append(out, *p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		switch {
+		case a.Tenant != b.Tenant:
+			return a.Tenant < b.Tenant
+		case a.Node != b.Node:
+			return a.Node < b.Node
+		case a.GPU != b.GPU:
+			return a.GPU < b.GPU
+		default:
+			return a.Seq < b.Seq
+		}
+	})
+	return out
+}
+
+// Attribution aggregates a set of batch journeys into per-stage totals —
+// the cluster-level view the stall counters report.
+type Attribution struct {
+	Batches     int
+	Latency     time.Duration
+	DataWait    time.Duration
+	Copy        time.Duration
+	GPUStep     time.Duration
+	BarrierWait time.Duration
+	NetworkWait time.Duration
+	Downtime    time.Duration
+	Other       time.Duration
+}
+
+// Attribute sums the journeys keep admits (nil keep admits all).
+func Attribute(paths []BatchPath, keep func(BatchPath) bool) Attribution {
+	var a Attribution
+	for _, p := range paths {
+		if keep != nil && !keep(p) {
+			continue
+		}
+		a.Batches++
+		a.Latency += p.Latency()
+		a.DataWait += p.DataWait
+		a.Copy += p.Copy
+		a.GPUStep += p.GPUStep
+		a.BarrierWait += p.BarrierWait
+		a.NetworkWait += p.NetworkWait
+		a.Downtime += p.Downtime
+		a.Other += p.Other
+	}
+	return a
+}

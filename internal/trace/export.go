@@ -1,0 +1,170 @@
+package trace
+
+import (
+	"bufio"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Chrome trace-event export: the "JSON Array Format" that Perfetto and
+// chrome://tracing load directly. Each duration span becomes a complete
+// event ("ph":"X") and each instant a thread-scoped instant event
+// ("ph":"i"); pid/tid place every span on a stable track (one process per
+// node, one thread per layer/tenant/device), and metadata events name the
+// tracks. Spans are sorted canonically before writing and every number is
+// formatted from integers, so the output bytes are a pure function of the
+// span set.
+
+// Track layout: tid ranges per layer, offset by the identity that should
+// get its own swimlane. The constants only shape the visualization — the
+// span fields remain the source of truth in "args".
+const (
+	tidPipeline = 100  // + tenant: storage/cache/worker stages
+	tidConsumer = 1000 // + GPU index: step anatomy
+	tidDevice   = 2000 // + device key: occupancy
+	tidNet      = 3000 // flows and rate bends
+	tidFrame    = 3500 // service protocol frames
+	tidChaos    = 9000 // fault instants and windows
+)
+
+// trackOf maps a span to its (pid, tid) placement.
+func trackOf(s Span) (pid, tid int64) {
+	pid = int64(s.Node)
+	switch s.Stage {
+	case StageDataWait, StageCopy, StageGPUStep, StageBarrierWait, StageNetworkWait, StageDowntime:
+		return pid, tidConsumer + s.Key
+	case StageDeviceRun:
+		return pid, tidDevice + s.Key
+	case StageFlow, StageFlowRate:
+		return pid, tidNet
+	case StageFrame:
+		return pid, tidFrame
+	case StageFault, StageFaultWindow:
+		return pid, tidChaos
+	default:
+		return pid, tidPipeline + int64(s.Tenant)
+	}
+}
+
+// trackName names a tid for the metadata events.
+func trackName(tid int64) string {
+	switch {
+	case tid >= tidChaos:
+		return "chaos"
+	case tid >= tidFrame:
+		return "service-wire"
+	case tid >= tidNet:
+		return "interconnect"
+	case tid >= tidDevice:
+		return "device " + strconv.FormatInt(tid-tidDevice, 10)
+	case tid >= tidConsumer:
+		return "consumer gpu" + strconv.FormatInt(tid-tidConsumer, 10)
+	default:
+		return "pipeline tenant" + strconv.FormatInt(tid-tidPipeline, 10)
+	}
+}
+
+// WriteChrome writes spans as Chrome trace-event JSON. The spans are
+// sorted canonically first, so the same span set always produces the same
+// bytes regardless of recording order.
+func WriteChrome(w io.Writer, spans []Span) error {
+	sorted := make([]Span, len(spans))
+	copy(sorted, spans)
+	Sort(sorted)
+
+	bw := bufio.NewWriter(w)
+	buf := make([]byte, 0, 256)
+	bw.WriteByte('[')
+
+	// Track metadata: name every (pid, tid) pair in use, in sorted order.
+	type track struct{ pid, tid int64 }
+	seen := map[track]bool{}
+	var tracks []track
+	for _, s := range sorted {
+		pid, tid := trackOf(s)
+		t := track{pid, tid}
+		if !seen[t] {
+			seen[t] = true
+			tracks = append(tracks, t)
+		}
+	}
+	sort.Slice(tracks, func(i, j int) bool {
+		if tracks[i].pid != tracks[j].pid {
+			return tracks[i].pid < tracks[j].pid
+		}
+		return tracks[i].tid < tracks[j].tid
+	})
+	first := true
+	for _, t := range tracks {
+		if !first {
+			bw.WriteByte(',')
+		}
+		first = false
+		buf = buf[:0]
+		buf = append(buf, `{"name":"process_name","ph":"M","pid":`...)
+		buf = strconv.AppendInt(buf, t.pid, 10)
+		buf = append(buf, `,"tid":0,"args":{"name":"node `...)
+		buf = strconv.AppendInt(buf, t.pid, 10)
+		buf = append(buf, `"}},{"name":"thread_name","ph":"M","pid":`...)
+		buf = strconv.AppendInt(buf, t.pid, 10)
+		buf = append(buf, `,"tid":`...)
+		buf = strconv.AppendInt(buf, t.tid, 10)
+		buf = append(buf, `,"args":{"name":"`...)
+		buf = append(buf, trackName(t.tid)...)
+		buf = append(buf, `"}}`...)
+		bw.Write(buf)
+	}
+
+	for _, s := range sorted {
+		if !first {
+			bw.WriteByte(',')
+		}
+		first = false
+		pid, tid := trackOf(s)
+		buf = buf[:0]
+		buf = append(buf, `{"name":"`...)
+		buf = append(buf, s.Stage.String()...)
+		buf = append(buf, `","ph":"`...)
+		if s.Start == s.End {
+			buf = append(buf, `i","s":"t`...)
+		} else {
+			buf = append(buf, 'X')
+		}
+		buf = append(buf, `","ts":`...)
+		buf = appendMicros(buf, int64(s.Start))
+		if s.Start != s.End {
+			buf = append(buf, `,"dur":`...)
+			buf = appendMicros(buf, int64(s.End-s.Start))
+		}
+		buf = append(buf, `,"pid":`...)
+		buf = strconv.AppendInt(buf, pid, 10)
+		buf = append(buf, `,"tid":`...)
+		buf = strconv.AppendInt(buf, tid, 10)
+		buf = append(buf, `,"args":{"tenant":`...)
+		buf = strconv.AppendInt(buf, int64(s.Tenant), 10)
+		buf = append(buf, `,"key":`...)
+		buf = strconv.AppendInt(buf, s.Key, 10)
+		buf = append(buf, `,"seq":`...)
+		buf = strconv.AppendInt(buf, s.Seq, 10)
+		buf = append(buf, `,"detail":`...)
+		buf = strconv.AppendInt(buf, s.Detail, 10)
+		buf = append(buf, `}}`...)
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	bw.WriteByte(']')
+	bw.WriteByte('\n')
+	return bw.Flush()
+}
+
+// appendMicros formats ns as microseconds with fixed 3-decimal precision
+// ("1234.567") — integer arithmetic only, so the bytes are exact.
+func appendMicros(buf []byte, ns int64) []byte {
+	buf = strconv.AppendInt(buf, ns/1000, 10)
+	buf = append(buf, '.')
+	frac := ns % 1000
+	buf = append(buf, byte('0'+frac/100), byte('0'+frac/10%10), byte('0'+frac%10))
+	return buf
+}

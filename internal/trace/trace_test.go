@@ -1,0 +1,188 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func span(start, end int64, st Stage, tenant, node int32, key, seq, detail int64) Span {
+	return Span{Start: time.Duration(start), End: time.Duration(end), Stage: st,
+		Tenant: tenant, Node: node, Key: key, Seq: seq, Detail: detail}
+}
+
+// A trace must be a pure function of the span *set*: recording the same
+// spans in any order yields identical snapshots and identical exported
+// bytes.
+func TestSnapshotOrderIndependent(t *testing.T) {
+	base := make([]Span, 0, 3*chunkSpans+17)
+	for i := 0; i < cap(base); i++ {
+		base = append(base, span(int64(i%97)*1000, int64(i%97)*1000+int64(i%13+1),
+			Stage(i%int(stageCount-1)+1), int32(i%4), int32(i%3), int64(i%29), int64(i), int64(i*3)))
+	}
+	perm := rand.New(rand.NewSource(42)).Perm(len(base))
+
+	r1, r2 := NewRecorder(), NewRecorder()
+	for _, s := range base {
+		r1.Record(s)
+	}
+	for _, i := range perm {
+		r2.Record(base[i])
+	}
+	s1, s2 := r1.Snapshot(), r2.Snapshot()
+	if len(s1) != len(base) || len(s2) != len(base) {
+		t.Fatalf("snapshot lengths %d/%d, want %d", len(s1), len(s2), len(base))
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("span %d differs: %+v vs %+v", i, s1[i], s2[i])
+		}
+	}
+
+	var b1, b2 bytes.Buffer
+	if err := WriteChrome(&b1, s1); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChrome(&b2, s2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("exported bytes differ for the same span set")
+	}
+}
+
+func TestChromeExportIsValidJSON(t *testing.T) {
+	r := NewRecorder()
+	r.Record(span(1000, 5000, StageDiskRead, 1, 0, 7, 0, 4096))
+	r.Record(span(2000, 2000, StageCacheHit, 1, 0, 7, 0, 0)) // instant
+	r.Record(span(0, 9000, StageDataWait, 0, 2, 1, 3, 0))
+	r.Record(span(500, 600, StageFault, 0, 1, 0, 0, 2))
+	var b bytes.Buffer
+	if err := WriteChrome(&b, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(b.Bytes(), &events); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, b.String())
+	}
+	// 4 spans + metadata (2 per distinct track).
+	if len(events) < 4 {
+		t.Fatalf("got %d events, want at least 4", len(events))
+	}
+	sawX, sawI := false, false
+	for _, ev := range events {
+		switch ev["ph"] {
+		case "X":
+			sawX = true
+			if _, ok := ev["dur"]; !ok {
+				t.Fatalf("complete event missing dur: %v", ev)
+			}
+		case "i":
+			sawI = true
+		}
+	}
+	if !sawX || !sawI {
+		t.Fatalf("want both complete and instant events (X=%v i=%v)", sawX, sawI)
+	}
+}
+
+// The disabled recorder must cost nothing on the hot path: no allocations,
+// ever, for any method.
+func TestNilRecorderAllocs(t *testing.T) {
+	var r *Recorder
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.Record(Span{Start: 1, End: 2, Stage: StageDiskRead, Key: 3})
+		r.Instant(Span{Stage: StageCacheHit}, 5)
+		if r.Enabled() || r.Len() != 0 || r.Snapshot() != nil {
+			t.Fatal("nil recorder misbehaves")
+		}
+		r.Reset()
+	})
+	if allocs != 0 {
+		t.Fatalf("nil recorder allocated %.1f per op, want 0", allocs)
+	}
+}
+
+// The enabled recorder's steady state must also be allocation-free once
+// its chunks have warmed (the <5% overhead budget is wall time, not GC).
+func TestWarmRecorderAllocs(t *testing.T) {
+	r := NewRecorder()
+	for i := 0; i < 4*chunkSpans; i++ { // warm the chunk pool
+		r.Record(Span{Seq: int64(i)})
+	}
+	r.Reset()
+	i := int64(0)
+	allocs := testing.AllocsPerRun(2*chunkSpans, func() {
+		r.Record(Span{Seq: i})
+		i++
+	})
+	// Chunk-list growth amortizes to well under one allocation per span.
+	if allocs > 0.1 {
+		t.Fatalf("warm recorder allocated %.2f per span, want ~0", allocs)
+	}
+}
+
+func TestCriticalPathTilesLatency(t *testing.T) {
+	r := NewRecorder()
+	// Batch (node 0, gpu 1, seq 5): wait 0-40, copy 40-50, step 50-100,
+	// barrier 100-130, network 130-150.
+	r.Record(span(0, 40, StageDataWait, 0, 0, 1, 5, 0))
+	r.Record(span(40, 50, StageCopy, 0, 0, 1, 5, 0))
+	r.Record(span(50, 100, StageGPUStep, 0, 0, 1, 5, 0))
+	r.Record(span(100, 130, StageBarrierWait, 0, 0, 1, 5, 0))
+	r.Record(span(130, 150, StageNetworkWait, 0, 0, 1, 5, 0))
+	// A second batch with an uninstrumented gap (Other).
+	r.Record(span(150, 160, StageDataWait, 0, 0, 1, 6, 0))
+	r.Record(span(170, 200, StageGPUStep, 0, 0, 1, 6, 0))
+	// Non-step spans must not disturb the paths.
+	r.Record(span(0, 1000, StageDiskRead, 0, 0, 99, 0, 0))
+
+	paths := CriticalPath(r.Snapshot())
+	if len(paths) != 2 {
+		t.Fatalf("got %d paths, want 2", len(paths))
+	}
+	p := paths[0]
+	if p.Seq != 5 || p.Latency() != 150 || p.Other != 0 {
+		t.Fatalf("path 0: %+v", p)
+	}
+	if p.DataWait != 40 || p.Copy != 10 || p.GPUStep != 50 || p.BarrierWait != 30 || p.NetworkWait != 20 {
+		t.Fatalf("path 0 stages: %+v", p)
+	}
+	q := paths[1]
+	if q.Seq != 6 || q.Latency() != 50 || q.Other != 10 {
+		t.Fatalf("path 1: %+v", q)
+	}
+	sum := q.DataWait + q.Copy + q.GPUStep + q.BarrierWait + q.NetworkWait + q.Downtime + q.Other
+	if sum != q.Latency() {
+		t.Fatalf("stages sum %v != latency %v", sum, q.Latency())
+	}
+
+	a := Attribute(paths, nil)
+	if a.Batches != 2 || a.DataWait != 50 || a.GPUStep != 80 || a.Other != 10 {
+		t.Fatalf("attribution: %+v", a)
+	}
+	only5 := Attribute(paths, func(p BatchPath) bool { return p.Seq == 5 })
+	if only5.Batches != 1 || only5.NetworkWait != 20 {
+		t.Fatalf("filtered attribution: %+v", only5)
+	}
+}
+
+func TestRecorderResetRecycles(t *testing.T) {
+	r := NewRecorder()
+	for i := 0; i < 3*chunkSpans; i++ {
+		r.Record(Span{Seq: int64(i)})
+	}
+	if r.Len() != 3*chunkSpans {
+		t.Fatalf("len %d", r.Len())
+	}
+	r.Reset()
+	if r.Len() != 0 || r.Snapshot() != nil && len(r.Snapshot()) != 0 {
+		t.Fatal("reset left spans behind")
+	}
+	r.Record(Span{Seq: 1})
+	if r.Len() != 1 {
+		t.Fatal("record after reset failed")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -26,6 +27,7 @@ import (
 	"github.com/minatoloader/minato/internal/simtime"
 	"github.com/minatoloader/minato/internal/stats"
 	"github.com/minatoloader/minato/internal/storage"
+	"github.com/minatoloader/minato/internal/trace"
 	"github.com/minatoloader/minato/internal/workload"
 )
 
@@ -53,10 +55,16 @@ type Params struct {
 	// (default 50).
 	AccuracyEvery int
 	// TraceSamples records a per-sample timeline (load, preprocessing
-	// window, classification, delivery) into Report.Trace — the raw
+	// window, classification, delivery) into Report.SampleTraces — the raw
 	// material for pipeline forensics. Costs memory proportional to the
 	// sample count.
 	TraceSamples bool
+	// Trace, when non-nil, records deterministic spans from every layer of
+	// the session (storage, caches, workers, devices, consumer steps,
+	// chaos) into the given recorder — the input for Report.Trace,
+	// Report.CriticalPath, and the Perfetto exporter. Nil disables tracing
+	// at zero hot-path cost.
+	Trace *trace.Recorder
 	// Chaos is an optional fault-injection script replayed against the
 	// session: worker stalls, disk brownouts, preemption/resume. Callers
 	// validate it for a single-machine run (Script.Validate(0)) before
@@ -137,42 +145,59 @@ type Report struct {
 	// the cache is not enabled.
 	MatCacheStats matcache.Stats
 
-	// Trace holds per-sample timelines when Params.TraceSamples is set,
-	// in delivery order.
-	Trace []SampleTrace
+	// SampleTraces holds per-sample timelines when Params.TraceSamples is
+	// set, in delivery order.
+	SampleTraces []SampleTrace
 
-	// StepP50 and StepP99 are per-GPU batch-completion interval quantiles
-	// from a log-bucketed histogram — the SLO view of step-time jitter
-	// under faults. Zero when no batch completed.
-	StepP50 time.Duration
-	StepP99 time.Duration
+	// StallBreakdown attributes the session's consumer stalls (DataStall;
+	// the barrier and network fields stay zero on a single machine), the
+	// step-time quantiles, and the absorbed fault windows. When tracing is
+	// enabled the critical-path analyzer is the source; otherwise the
+	// consumers' stall counters fill it — both are stamped at the same
+	// virtual instants.
+	report.StallBreakdown
 	// PreemptStall is the total time consumers spent parked by Preempt
 	// events (across GPUs).
 	PreemptStall time.Duration
-	// Faults records each chaos event window the session absorbed, in
-	// application order. A Resume fault's Recovery is the time from the
-	// resume to the next completed batch.
-	Faults []chaos.FaultStat
+
+	// StepHist is the step-interval histogram behind StepP50/StepP99,
+	// exportable through WritePrometheus.
+	StepHist *stats.LogHist
+
+	// spans memoizes the session's recorded trace; rec is the live
+	// recorder it snapshots from on first use.
+	spans []trace.Span
+	rec   *trace.Recorder
 }
 
-// RecoveryTime returns the largest fault recovery in the report (zero when
-// nothing needed recovering).
-func (r *Report) RecoveryTime() time.Duration {
-	var max time.Duration
-	for _, f := range r.Faults {
-		if f.Recovery > max {
-			max = f.Recovery
-		}
+// Trace returns the session's recorded spans in canonical order (nil when
+// tracing was disabled). The snapshot is taken lazily on first call — a
+// traced run that never reads its trace pays nothing for the
+// canonicalize-and-sort — and memoized, so read it before resetting the
+// sink the session recorded into.
+func (r *Report) Trace() []trace.Span {
+	if r.spans == nil && r.rec.Enabled() {
+		r.spans = r.rec.Snapshot()
 	}
-	return max
+	return r.spans
 }
+
+// CriticalPath reassembles each delivered batch's latency attribution
+// from the recorded trace (nil when tracing was disabled).
+func (r *Report) CriticalPath() []trace.BatchPath {
+	return trace.CriticalPath(r.Trace())
+}
+
+// SetTrace installs a recorded span set (callers outside the trainer
+// assemble reports too, e.g. loading sessions).
+func (r *Report) SetTrace(spans []trace.Span) { r.spans = spans }
 
 // WriteTraceCSV exports the sample trace for offline analysis.
 func (r *Report) WriteTraceCSV(dir, name string) error {
 	header := []string{"index", "epoch", "raw_bytes", "loaded_s", "preproc_start_s",
 		"preproc_end_s", "preproc_cost_ms", "slow", "resumed", "batch_seq", "trained_s", "gpu"}
-	rows := make([][]string, 0, len(r.Trace))
-	for _, tr := range r.Trace {
+	rows := make([][]string, 0, len(r.SampleTraces))
+	for _, tr := range r.SampleTraces {
 		rows = append(rows, []string{
 			fmt.Sprint(tr.Index), fmt.Sprint(tr.Epoch), fmt.Sprint(tr.RawBytes),
 			fmt.Sprintf("%.3f", tr.LoadedAt.Seconds()),
@@ -186,6 +211,27 @@ func (r *Report) WriteTraceCSV(dir, name string) error {
 		})
 	}
 	return report.WriteCSV(dir, name, header, rows)
+}
+
+// WritePrometheus exports the session's collected metrics as Prometheus
+// text format: one gauge per time series (Params.Collect) and the
+// step-interval histogram when SLO tracking ran. Deterministic byte output
+// for a deterministic run.
+func (r *Report) WritePrometheus(w io.Writer) error {
+	names := make([]string, 0, len(r.Series))
+	for name := range r.Series {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	series := make([]metrics.SeriesSnapshot, 0, len(names))
+	for _, name := range names {
+		series = append(series, metrics.SeriesSnapshot{Name: name, Points: r.Series[name].Points})
+	}
+	var hists []metrics.HistSnapshot
+	if r.StepHist != nil && r.StepHist.N() > 0 {
+		hists = append(hists, metrics.HistSnapshot{Name: "step_interval_seconds", Hist: r.StepHist})
+	}
+	return metrics.WritePrometheus(w, series, hists)
 }
 
 // Throughput returns average trained MB/s over the run.
@@ -231,6 +277,18 @@ func RunEnv(env *loader.Env, disk *storage.Disk, cache *storage.PageCache, w wor
 
 	rt := env.RT
 	wg := env.WG
+	if p.Trace != nil {
+		// Installed before the loader is built, so its background tasks see
+		// the recorder from their first event.
+		env.Trace = p.Trace
+	}
+	if env.Trace != nil && env.Store != nil && env.Store.Trace == nil {
+		// A copy, not a mutation: the store value may be shared with
+		// co-running sessions on a cluster substrate.
+		cp := *env.Store
+		cp.Trace, cp.TraceNode = env.Trace, env.TraceNode
+		env.Store = &cp
+	}
 	spec := w.Spec()
 	ld := f.New(env, spec)
 
@@ -299,7 +357,9 @@ func RunEnv(env *loader.Env, disk *storage.Disk, cache *storage.PageCache, w wor
 	var consumerErr atomic.Value
 	var globalIters atomic.Int64
 	var lastEnd atomic.Int64
+	var dataStall atomic.Int64
 	var traceMu sync.Mutex
+	tr, tenant, node := env.Trace, env.TraceTenant(), env.TraceNode
 	perGPUEpoch := spec.BatchesPerEpoch() / len(env.GPUs)
 	for g := range env.GPUs {
 		g := g
@@ -313,6 +373,7 @@ func RunEnv(env *loader.Env, disk *storage.Disk, cache *storage.PageCache, w wor
 					consumerErr.Store(err)
 					return
 				}
+				waitStart := rt.Now()
 				b, err := ld.Next(ctx, g)
 				if errors.Is(err, io.EOF) {
 					return
@@ -321,12 +382,21 @@ func RunEnv(env *loader.Env, disk *storage.Disk, cache *storage.PageCache, w wor
 					consumerErr.Store(err)
 					return
 				}
+				waitEnd := rt.Now()
+				dataStall.Add(int64(waitEnd - waitStart))
+				tr.Record(trace.Span{Start: waitStart, End: waitEnd, Stage: trace.StageDataWait,
+					Tenant: tenant, Node: node, Key: int64(g), Seq: b.Seq})
+				stepStart := waitEnd
 				if !b.Resident {
 					// Synchronous H2D copy (no prefetch overlap).
 					copyTime := time.Duration(float64(b.Bytes()) / p.CopyBandwidth * float64(time.Second))
 					if err := rt.Sleep(ctx, copyTime); err != nil {
 						return
 					}
+					copyEnd := rt.Now()
+					tr.Record(trace.Span{Start: stepStart, End: copyEnd, Stage: trace.StageCopy,
+						Tenant: tenant, Node: node, Key: int64(g), Seq: b.Seq, Detail: b.Bytes()})
+					stepStart = copyEnd
 				}
 				if err := dev.Train(ctx, w.GPUStep); err != nil {
 					return
@@ -336,6 +406,8 @@ func RunEnv(env *loader.Env, disk *storage.Disk, cache *storage.PageCache, w wor
 				atomic.AddInt64(&rep.Samples, int64(len(b.Samples)))
 				trainedBytes.Add(b.Bytes())
 				stepEnd := rt.Now()
+				tr.Record(trace.Span{Start: stepStart, End: stepEnd, Stage: trace.StageGPUStep,
+					Tenant: tenant, Node: node, Key: int64(g), Seq: b.Seq})
 				storeMax(&lastEnd, int64(stepEnd))
 				cst.NoteStep(g, stepEnd)
 
@@ -349,7 +421,7 @@ func RunEnv(env *loader.Env, disk *storage.Disk, cache *storage.PageCache, w wor
 					now := rt.Now()
 					traceMu.Lock()
 					for _, s := range b.Samples {
-						rep.Trace = append(rep.Trace, SampleTrace{
+						rep.SampleTraces = append(rep.SampleTraces, SampleTrace{
 							Index: s.Index, Epoch: s.Epoch, RawBytes: s.RawBytes,
 							LoadedAt: s.LoadedAt, PreprocStart: s.PreprocStart,
 							PreprocEnd: s.PreprocEnd, PreprocCost: s.PreprocCost,
@@ -397,6 +469,12 @@ func RunEnv(env *loader.Env, disk *storage.Disk, cache *storage.PageCache, w wor
 		return nil, err
 	}
 	cst.Finish(rep)
+	// DataStall comes from the consumers' own counter; with tracing on the
+	// StageDataWait spans are stamped from the identical instants, so the
+	// critical-path analyzer reproduces this value to the nanosecond. The
+	// report keeps the recorder and snapshots lazily (Trace).
+	rep.DataStall = time.Duration(dataStall.Load())
+	rep.rec = tr
 	if e := consumerErr.Load(); e != nil {
 		return nil, e.(error)
 	}
@@ -590,6 +668,7 @@ func (c *ChaosState) apply(ev chaos.Event) {
 		c.faults = append(c.faults, chaos.FaultStat{Event: ev, AppliedAt: now})
 		c.recPending = len(c.faults) - 1
 		c.mu.Unlock()
+		c.traceFault(trace.StageFault, now, now, ev.Kind)
 	}
 }
 
@@ -598,12 +677,17 @@ func (c *ChaosState) openFault(ev chaos.Event, now time.Duration) {
 	c.faults = append(c.faults, chaos.FaultStat{Event: ev, AppliedAt: now})
 	c.open[ev.Kind] = len(c.faults) - 1
 	c.mu.Unlock()
+	c.traceFault(trace.StageFault, now, now, ev.Kind)
 }
 
 func (c *ChaosState) closeFault(kind chaos.Kind, now time.Duration) {
+	var applied time.Duration
+	closed := false
 	c.mu.Lock()
 	if i, ok := c.open[kind]; ok {
 		c.faults[i].ClearedAt = now
+		applied = c.faults[i].AppliedAt
+		closed = true
 		if kind == chaos.Preempt {
 			// The pause window itself is the stall: every consumer is
 			// parked for its full extent.
@@ -612,6 +696,16 @@ func (c *ChaosState) closeFault(kind chaos.Kind, now time.Duration) {
 		delete(c.open, kind)
 	}
 	c.mu.Unlock()
+	if closed {
+		c.traceFault(trace.StageFaultWindow, applied, now, kind)
+	}
+}
+
+// traceFault records a fault span (instant when start == end) on the
+// session's recorder; a no-op without tracing.
+func (c *ChaosState) traceFault(st trace.Stage, start, end time.Duration, kind chaos.Kind) {
+	c.env.Trace.Record(trace.Span{Start: start, End: end, Stage: st,
+		Tenant: c.env.TraceTenant(), Node: c.env.TraceNode, Key: int64(kind)})
 }
 
 // noteStep records a consumer's batch-completion interval and resolves a
@@ -649,6 +743,7 @@ func (c *ChaosState) Gate(ctx context.Context) error {
 func (c *ChaosState) Finish(rep *Report) {
 	rep.StepP50 = c.hist.QuantileDuration(0.5)
 	rep.StepP99 = c.hist.QuantileDuration(0.99)
+	rep.StepHist = c.hist
 	rep.PreemptStall = time.Duration(c.preemptStall.Load())
 	c.mu.Lock()
 	rep.Faults = append([]chaos.FaultStat(nil), c.faults...)

@@ -162,10 +162,10 @@ func TestSampleTraceRecorded(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if int64(len(rep.Trace)) != rep.Samples {
-		t.Fatalf("trace has %d entries, want %d", len(rep.Trace), rep.Samples)
+	if int64(len(rep.SampleTraces)) != rep.Samples {
+		t.Fatalf("trace has %d entries, want %d", len(rep.SampleTraces), rep.Samples)
 	}
-	for _, tr := range rep.Trace {
+	for _, tr := range rep.SampleTraces {
 		if tr.PreprocEnd < tr.PreprocStart {
 			t.Fatalf("negative preprocessing window: %+v", tr)
 		}

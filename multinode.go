@@ -246,5 +246,6 @@ func trainMultiNode(w Workload, o *sessionOptions) (*MultiNodeReport, error) {
 		return nil, err
 	}
 	cfg.Script = script
+	cfg.Trace = o.trace
 	return distributed.Run(cfg, w, f)
 }

@@ -25,8 +25,9 @@ while [ $# -gt 0 ]; do
 done
 
 # The perf-tracking set: end-to-end session throughput, kernel fixed cost,
-# the headline experiment (simulated-time metrics must stay stable), and the
-# hot-path microbenchmarks.
+# the headline experiment (simulated-time metrics must stay stable) plus its
+# traced twin (tracing overhead must stay under budget), and the hot-path
+# microbenchmarks.
 BENCH="${BENCH:-BenchmarkLoaderSessionThroughput|BenchmarkSimulateSmallSession|BenchmarkHeadlineSpeedup|BenchmarkPipelineCostModel|BenchmarkFleetSession|BenchmarkClusterTenants|BenchmarkMultiNode\$|BenchmarkChurn|BenchmarkWarmEpoch|BenchmarkServe}"
 MICRO="${MICRO:-BenchmarkVirtualSleep|BenchmarkSelectorWakeWait|BenchmarkVirtualSameDeadlineSleepers|BenchmarkProfilerRecord|BenchmarkPoolSharedContention}"
 
@@ -37,5 +38,19 @@ go test -run '^$' -bench "$BENCH" -benchmem -benchtime "$BENCHTIME" . | tee "$tm
 go test -run '^$' -bench "$MICRO" -benchmem -benchtime "$MICROTIME" \
   ./internal/simtime ./internal/core ./internal/data | tee -a "$tmp"
 
+# The tracing-overhead gate below compares wall times, which a shared
+# machine perturbs one-sidedly; rerun the headline pair a few more times so
+# benchjson's min-of-N folding converges on the uncontended cost.
+go test -run '^$' -bench 'BenchmarkHeadlineSpeedup' -benchmem \
+  -benchtime "$BENCHTIME" -count 4 . | tee -a "$tmp"
+
 go run ./scripts/benchjson -label "$LABEL" -out "$OUT" <"$tmp"
 echo "wrote $OUT"
+
+# Tracing-overhead gate: the traced headline run may cost at most 5% extra
+# wall time over the untraced one, and the simulated-time metrics the two
+# share must be bit-identical (tracing records; it must not perturb).
+if grep -q '"BenchmarkHeadlineSpeedupTraced"' "$OUT"; then
+  go run ./scripts/benchjson overhead "$OUT" \
+    BenchmarkHeadlineSpeedup BenchmarkHeadlineSpeedupTraced
+fi

@@ -6,7 +6,8 @@
 //
 // Standard units (ns/op, B/op, allocs/op) become top-level fields; anything
 // else (the experiment suite's speedup_x, samples/sec_wall, ...) lands under
-// "metrics".
+// "metrics". When a benchmark appears more than once on stdin (-count=N),
+// the fastest run wins — wall noise on a shared machine is one-sided.
 //
 // The diff subcommand compares two snapshots and fails (exit 1) when any
 // benchmark present in both regresses allocs/op — or a samples/sec
@@ -18,6 +19,18 @@
 //	go run ./scripts/benchjson diff BENCH_old.json BENCH_new.json
 //	go run ./scripts/benchjson diff -max-allocs-regress 0.15 old.json new.json
 //	go run ./scripts/benchjson diff -max-throughput-regress 0.15 old.json new.json
+//
+// The overhead subcommand gates an instrumented benchmark against its
+// uninstrumented twin within one snapshot: the instrumented variant may
+// cost at most -max-wall-regress extra wall time (default 5%), and every
+// custom metric the two report in common must be bit-identical — an
+// observer records, it does not perturb. With -baseline it additionally
+// pins the uninstrumented benchmark's allocs/op to the committed baseline:
+// any increase with tracing off fails, because the disabled fast path is
+// supposed to be a nil check, not an allocation.
+//
+//	go run ./scripts/benchjson overhead BENCH.json BenchmarkHeadlineSpeedup BenchmarkHeadlineSpeedupTraced
+//	go run ./scripts/benchjson overhead -baseline BENCH_old.json new.json Base Traced
 package main
 
 import (
@@ -52,6 +65,9 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "diff" {
 		os.Exit(runDiff(os.Args[2:]))
 	}
+	if len(os.Args) > 1 && os.Args[1] == "overhead" {
+		os.Exit(runOverhead(os.Args[2:]))
+	}
 	var (
 		label = flag.String("label", "", "free-form snapshot label (e.g. pre-PR, post-PR)")
 		out   = flag.String("out", "", "output path (default stdout)")
@@ -63,7 +79,13 @@ func main() {
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		if name, res, ok := parseLine(sc.Text()); ok {
-			rec.Benchmarks[name] = res
+			// Repeated lines for one benchmark (-count=N) fold to the
+			// fastest run: wall-clock noise on a shared machine is
+			// one-sided — contention only ever adds time — so min-of-N
+			// estimates the uncontended cost the gates care about.
+			if prev, exists := rec.Benchmarks[name]; !exists || res.NsPerOp < prev.NsPerOp {
+				rec.Benchmarks[name] = res
+			}
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -168,6 +190,97 @@ func runDiff(args []string) int {
 		return 1
 	}
 	fmt.Println("benchjson diff: allocs/op within budget for all compared benchmarks")
+	return 0
+}
+
+// runOverhead implements `benchjson overhead [-max-wall-regress F]
+// [-baseline old.json] snapshot.json base traced`: the tracing-overhead
+// gate. Three checks, all within one machine's run so wall times are
+// comparable:
+//
+//  1. traced ns/op ≤ base ns/op × (1 + max-wall-regress) — observability
+//     must stay cheap enough to leave on;
+//  2. every custom metric reported by both benchmarks is exactly equal —
+//     the simulated outcome (speedups, GPU util) must not notice the
+//     observer;
+//  3. with -baseline, the base benchmark's allocs/op must not exceed the
+//     committed baseline's — with tracing off, the instrumentation's cost
+//     is one nil check and zero allocations, so any increase is a leak.
+func runOverhead(args []string) int {
+	fs := flag.NewFlagSet("overhead", flag.ExitOnError)
+	maxWall := fs.Float64("max-wall-regress", 0.05,
+		"maximum allowed fractional wall-time (ns/op) overhead of traced over base")
+	baselinePath := fs.String("baseline", "",
+		"committed snapshot to pin the base benchmark's allocs/op against")
+	_ = fs.Parse(args)
+	if fs.NArg() != 3 {
+		fmt.Fprintln(os.Stderr,
+			"usage: benchjson overhead [-max-wall-regress F] [-baseline old.json] snapshot.json base traced")
+		return 2
+	}
+	rec, err := loadRecord(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 1
+	}
+	baseName, tracedName := fs.Arg(1), fs.Arg(2)
+	base, ok := rec.Benchmarks[baseName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "benchjson: %s missing from %s\n", baseName, fs.Arg(0))
+		return 1
+	}
+	traced, ok := rec.Benchmarks[tracedName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "benchjson: %s missing from %s\n", tracedName, fs.Arg(0))
+		return 1
+	}
+
+	failed := 0
+	overhead := traced.NsPerOp/base.NsPerOp - 1
+	fmt.Printf("%-50s wall overhead %+.1f%% (%.0f -> %.0f ns/op), budget %.0f%%\n",
+		tracedName, 100*overhead, base.NsPerOp, traced.NsPerOp, 100**maxWall)
+	if base.NsPerOp <= 0 || traced.NsPerOp > base.NsPerOp*(1+*maxWall) {
+		fmt.Printf("  FAIL: tracing costs more than the wall budget\n")
+		failed++
+	}
+	shared := make([]string, 0, len(base.Metrics))
+	for m := range base.Metrics {
+		if _, ok := traced.Metrics[m]; ok && !isThroughputMetric(m) {
+			shared = append(shared, m)
+		}
+	}
+	sort.Strings(shared)
+	for _, m := range shared {
+		bv, tv := base.Metrics[m], traced.Metrics[m]
+		if bv != tv {
+			fmt.Printf("  FAIL: %s differs under tracing: %v (base) vs %v (traced)\n", m, bv, tv)
+			failed++
+		} else {
+			fmt.Printf("  %-48s %v (identical under tracing)\n", m, bv)
+		}
+	}
+	if *baselinePath != "" {
+		old, err := loadRecord(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			return 1
+		}
+		if ob, ok := old.Benchmarks[baseName]; !ok {
+			fmt.Printf("%-50s missing from %s (allocs pin skipped)\n", baseName, *baselinePath)
+		} else if base.AllocsPerOp > ob.AllocsPerOp {
+			fmt.Printf("  FAIL: %s allocs/op grew with tracing off: %.0f -> %.0f\n",
+				baseName, ob.AllocsPerOp, base.AllocsPerOp)
+			failed++
+		} else {
+			fmt.Printf("  %-48s allocs/op %.0f (baseline %.0f, tracing off)\n",
+				baseName, base.AllocsPerOp, ob.AllocsPerOp)
+		}
+	}
+	if failed > 0 {
+		fmt.Printf("benchjson overhead: %d check(s) failed\n", failed)
+		return 1
+	}
+	fmt.Println("benchjson overhead: within budget, metrics identical under tracing")
 	return 0
 }
 

@@ -14,6 +14,7 @@ import (
 	"github.com/minatoloader/minato/internal/chaos"
 	"github.com/minatoloader/minato/internal/service"
 	"github.com/minatoloader/minato/internal/simtime"
+	"github.com/minatoloader/minato/internal/trace"
 )
 
 // Disaggregated preprocessing. Serve turns a Cluster into a preprocessing
@@ -122,6 +123,7 @@ type serveOptions struct {
 	published  map[string]published
 	chaos      *ChaosScript
 	chaosName  string
+	trace      *trace.Recorder
 }
 
 // ServeOption configures a preprocessing server (Serve).
@@ -244,6 +246,7 @@ type ServerAddr struct {
 	// an engine parked on timers at Serve time would otherwise drag the
 	// idle kernel's clock through the whole script before the first Dial.
 	linkEvents []ChaosEvent
+	tr         *trace.Recorder
 	engOnce    sync.Once
 	engMu      sync.Mutex
 	eng        *chaos.Engine
@@ -271,6 +274,8 @@ func (a *ServerAddr) startLinkChaos() {
 			case ChaosLinkRestore:
 				a.sn.net.SetBandwidth(target, base)
 			}
+			a.tr.Instant(trace.Span{Stage: trace.StageFault,
+				Node: int32(ev.Node), Key: int64(ev.Kind)}, a.rt.Now())
 		})
 		a.engMu.Lock()
 		if a.closed.Load() {
@@ -345,6 +350,9 @@ func Serve(cl *Cluster, opts ...ServeOption) (*ServerAddr, error) {
 		}
 		cl.disk.ScheduleSlowdown(ev.At, f)
 	}
+	if o.trace != nil {
+		sn.net.EnableTrace(o.trace)
+	}
 	addr := &ServerAddr{
 		sn:         sn,
 		rt:         cl.rt,
@@ -354,6 +362,7 @@ func Serve(cl *Cluster, opts ...ServeOption) (*ServerAddr, error) {
 		pub:        o.published,
 		wg:         simtime.NewWaitGroup(cl.rt),
 		linkEvents: link,
+		tr:         o.trace,
 	}
 	opener := &clusterOpener{cl: cl, pub: o.published}
 	if len(link) > 0 {
@@ -783,9 +792,9 @@ func (s *RemoteSession) Close() (*Report, error) {
 		Batches:      s.batches.Load(),
 		Samples:      s.samples.Load(),
 		TrainedBytes: s.bytes.Load(),
-		StepP50:      cs.StepP50,
-		StepP99:      cs.StepP99,
 	}
+	rep.StepP50 = cs.StepP50
+	rep.StepP99 = cs.StepP99
 	return rep, s.err
 }
 

@@ -12,6 +12,7 @@ import (
 
 	"github.com/minatoloader/minato/internal/loaders"
 	"github.com/minatoloader/minato/internal/simtime"
+	"github.com/minatoloader/minato/internal/trace"
 	"github.com/minatoloader/minato/internal/trainer"
 	"github.com/minatoloader/minato/internal/workload"
 )
@@ -41,6 +42,7 @@ type sessionOptions struct {
 	matBytes    int64
 	chaos       *ChaosScript
 	chaosName   string
+	trace       *trace.Recorder
 	// skip fast-forwards a session past its first batches — set only by
 	// Resume, never by a public option.
 	skip int
@@ -290,6 +292,8 @@ func (o *sessionOptions) rejectClusterOwned() error {
 		return configErr("WithRuntime", "cluster-owned: the runtime belongs to NewCluster")
 	case o.matBytes != 0:
 		return configErr("WithMaterializedCache", "cluster-owned: enable the cache on NewCluster")
+	case o.trace != nil:
+		return configErr("WithTracing", "cluster-owned: attach the sink on NewCluster")
 	}
 	return o.rejectTopology()
 }
@@ -417,11 +421,12 @@ func Open(dataset Dataset, opts ...Option) (*Session, error) {
 	if err := o.rejectTopology(); err != nil {
 		return nil, err
 	}
-	cl, err := newCluster(&clusterOptions{hw: o.hw, env: o.env, gpus: o.gpus, rt: o.rt, matBytes: o.matBytes})
+	cl, err := newCluster(&clusterOptions{hw: o.hw, env: o.env, gpus: o.gpus, rt: o.rt,
+		matBytes: o.matBytes, trace: o.trace})
 	if err != nil {
 		return nil, err
 	}
-	o.hw, o.env, o.rt, o.gpus, o.matBytes = nil, nil, nil, 0, 0
+	o.hw, o.env, o.rt, o.gpus, o.matBytes, o.trace = nil, nil, nil, 0, 0, nil
 	sess, err := cl.open(dataset, o, true)
 	if err != nil {
 		_ = cl.Close()
@@ -721,11 +726,11 @@ func trainOpts(w Workload, o *sessionOptions) (*Report, error) {
 	if o.hw != nil {
 		hw = *o.hw
 	}
-	cl, err := newCluster(&clusterOptions{hw: &hw, gpus: o.gpus, matBytes: o.matBytes})
+	cl, err := newCluster(&clusterOptions{hw: &hw, gpus: o.gpus, matBytes: o.matBytes, trace: o.trace})
 	if err != nil {
 		return nil, err
 	}
 	defer cl.Close()
-	o.hw, o.gpus, o.matBytes = nil, 0, 0
+	o.hw, o.gpus, o.matBytes, o.trace = nil, 0, 0, nil
 	return cl.train(w, o)
 }
